@@ -1,0 +1,55 @@
+//! Benchmarks of the tree-construction heuristics (runtime vs platform size).
+//!
+//! The paper argues the heuristics are practical because they are
+//! polynomial; these benchmarks quantify the constant factors: every
+//! heuristic is timed on random platforms of 10–50 nodes (the LP-based ones
+//! receive precomputed loads, so this measures the tree construction alone).
+
+use bcast_bench::{fixture_random, SLICE};
+use bcast_core::heuristics::{build_structure_with_loads, HeuristicKind};
+use bcast_core::optimal::{optimal_throughput, OptimalMethod};
+use bcast_net::NodeId;
+use bcast_platform::CommModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    for &nodes in &[10usize, 20, 30] {
+        let platform = fixture_random(nodes, 0.12, 42 + nodes as u64);
+        let optimal =
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+                .expect("optimal solvable");
+        for kind in HeuristicKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "-"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        let tree = build_structure_with_loads(
+                            black_box(&platform),
+                            NodeId(0),
+                            kind,
+                            CommModel::OnePort,
+                            SLICE,
+                            Some(&optimal),
+                        )
+                        .expect("heuristic succeeds");
+                        black_box(tree.edge_count())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_heuristics
+}
+criterion_main!(benches);

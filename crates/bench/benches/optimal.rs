@@ -1,0 +1,99 @@
+//! Benchmarks of the MTP optimal-throughput solvers.
+//!
+//! This is the ablation bench for the central engineering choice of the
+//! reproduction: the paper solves LP (2) with Maple; we compare our direct
+//! transcription against the cut-generation reformulation as the platform
+//! grows (the direct LP is only benchmarked on small platforms — its size
+//! grows as `|E|·(p−1)` and it quickly stops being competitive).
+
+use bcast_bench::{fixture_random, fixture_tiers, SLICE};
+use bcast_core::optimal::{optimal_throughput, OptimalMethod};
+use bcast_net::NodeId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_direct_vs_cutgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal-solver");
+    for &nodes in &[8usize, 12] {
+        let platform = fixture_random(nodes, 0.15, 7 + nodes as u64);
+        group.bench_with_input(BenchmarkId::new("direct-lp", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                black_box(
+                    optimal_throughput(
+                        black_box(&platform),
+                        NodeId(0),
+                        SLICE,
+                        OptimalMethod::DirectLp,
+                    )
+                    .unwrap()
+                    .throughput,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cut-generation", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                black_box(
+                    optimal_throughput(
+                        black_box(&platform),
+                        NodeId(0),
+                        SLICE,
+                        OptimalMethod::CutGeneration,
+                    )
+                    .unwrap()
+                    .throughput,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cutgen_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut-generation-scaling");
+    group.sample_size(10);
+    for &nodes in &[20usize, 30] {
+        let platform = fixture_random(nodes, 0.12, 11 + nodes as u64);
+        group.bench_with_input(BenchmarkId::new("random", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                black_box(
+                    optimal_throughput(
+                        black_box(&platform),
+                        NodeId(0),
+                        SLICE,
+                        OptimalMethod::CutGeneration,
+                    )
+                    .unwrap()
+                    .throughput,
+                )
+            })
+        });
+    }
+    for &nodes in &[30usize] {
+        let platform = fixture_tiers(nodes, 13 + nodes as u64);
+        group.bench_with_input(BenchmarkId::new("tiers", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                black_box(
+                    optimal_throughput(
+                        black_box(&platform),
+                        NodeId(0),
+                        SLICE,
+                        OptimalMethod::CutGeneration,
+                    )
+                    .unwrap()
+                    .throughput,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_direct_vs_cutgen, bench_cutgen_scaling
+}
+criterion_main!(benches);

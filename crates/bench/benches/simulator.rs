@@ -1,0 +1,71 @@
+//! Benchmarks of the discrete-event simulator: events per second as the
+//! platform and the number of slices grow, under both port models.
+
+use bcast_bench::{fixture_random, SLICE};
+use bcast_core::heuristics::{build_structure, HeuristicKind};
+use bcast_net::NodeId;
+use bcast_platform::{CommModel, MessageSpec};
+use bcast_sim::{simulate_broadcast, SimulationConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for &nodes in &[10usize, 30] {
+        let platform = fixture_random(nodes, 0.12, 5 + nodes as u64);
+        let tree = build_structure(
+            &platform,
+            NodeId(0),
+            HeuristicKind::GrowTree,
+            CommModel::OnePort,
+            SLICE,
+        )
+        .expect("tree");
+        for &slices in &[50usize, 200] {
+            let spec = MessageSpec::new(slices as f64 * SLICE, SLICE);
+            group.bench_with_input(
+                BenchmarkId::new(format!("one-port-{nodes}n"), slices),
+                &slices,
+                |b, _| {
+                    b.iter(|| {
+                        let report = simulate_broadcast(
+                            black_box(&platform),
+                            black_box(&tree),
+                            &spec,
+                            &SimulationConfig::new(CommModel::OnePort),
+                        );
+                        black_box(report.makespan)
+                    })
+                },
+            );
+        }
+        let spec = MessageSpec::new(100.0 * SLICE, SLICE);
+        group.bench_with_input(
+            BenchmarkId::new("multi-port", nodes),
+            &nodes,
+            |b, _| {
+                let mp = platform.with_multiport_overheads(0.8, SLICE);
+                b.iter(|| {
+                    let report = simulate_broadcast(
+                        black_box(&mp),
+                        black_box(&tree),
+                        &spec,
+                        &SimulationConfig::new(CommModel::MultiPort),
+                    );
+                    black_box(report.makespan)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benchmarks measure the *algorithm* cost (tree construction, optimal
+//! bound, simulation), not the platform generation, so each fixture is
+//! generated once per benchmark group from a fixed seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
+use bcast_platform::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Slice size used throughout the benchmarks (1 MB, as in the experiments).
+pub const SLICE: f64 = 1.0e6;
+
+/// A deterministic random platform of `nodes` processors and the given density.
+pub fn fixture_random(nodes: usize, density: f64, seed: u64) -> Platform {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_platform(&RandomPlatformConfig::paper(nodes, density), &mut rng)
+}
+
+/// A deterministic Tiers-like platform of `nodes` processors.
+pub fn fixture_tiers(nodes: usize, seed: u64) -> Platform {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let density = if nodes <= 40 { 0.10 } else { 0.06 };
+    tiers_platform(&TiersConfig::paper(nodes, density), &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_connected() {
+        let a = fixture_random(20, 0.1, 7);
+        let b = fixture_random(20, 0.1, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.is_broadcast_feasible(bcast_net::NodeId(0)));
+        let t = fixture_tiers(30, 7);
+        assert_eq!(t.node_count(), 30);
+        assert!(t.is_broadcast_feasible(bcast_net::NodeId(0)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Binomial-tree heuristic (paper Algorithm 4).
+//!
+//! The classical MPI broadcast builds a binomial tree over the processor
+//! *indices*, completely ignoring the platform topology; the paper includes
+//! it as the baseline that existing MPI implementations would use. Logical
+//! index 0 is the source; during round `p` every node holding the message
+//! (logical indices that are multiples of `2^{m-p}`) forwards it to the node
+//! `2^{m-p-1}` positions further. Nodes beyond `2^m` receive the message
+//! from the node `2^m` positions before them in a final round.
+//!
+//! When a logical transfer connects two processors that are not adjacent in
+//! the platform graph, the transfer is routed along a shortest path (by link
+//! occupation time). The union of all path edges is therefore generally a
+//! spanning *overlay* rather than a tree; shared edges are counted once (the
+//! data they carry is identical).
+
+use crate::error::CoreError;
+use crate::tree::BroadcastStructure;
+use bcast_net::{shortest_path, EdgeId, NodeId};
+use bcast_platform::Platform;
+
+/// Algorithm 4 — index-based binomial tree routed along shortest paths.
+pub fn binomial_tree(
+    platform: &Platform,
+    source: NodeId,
+    slice_size: f64,
+) -> Result<BroadcastStructure, CoreError> {
+    let n = platform.node_count();
+    if n == 0 {
+        return Err(CoreError::EmptyPlatform);
+    }
+    // Logical numbering: 0 is the source, the other processors keep their
+    // platform order.
+    let mut logical_to_node: Vec<NodeId> = Vec::with_capacity(n);
+    logical_to_node.push(source);
+    logical_to_node.extend(platform.nodes().filter(|&u| u != source));
+
+    let m = if n > 1 { (n as f64).log2().floor() as u32 } else { 0 };
+    let pow_m = 1usize << m;
+
+    // All logical transfers (from, to) of the binomial schedule.
+    let mut transfers: Vec<(usize, usize)> = Vec::new();
+    for p in 0..m {
+        let stride = 1usize << (m - p); // 2^{m-p}
+        let half = stride / 2; // 2^{m-p-1}
+        for x in 0..(1usize << p) {
+            let from = x * stride;
+            let to = from + half;
+            if from < n && to < n {
+                transfers.push((from, to));
+            }
+        }
+    }
+    for u in pow_m..n {
+        transfers.push((u - pow_m, u));
+    }
+
+    // Route every transfer along a shortest path (link occupation time) and
+    // take the union of the edges.
+    let mut edges: Vec<EdgeId> = Vec::new();
+    let mut paths_cache: Vec<Option<shortest_path::ShortestPaths>> = vec![None; n];
+    for (from, to) in transfers {
+        let from_node = logical_to_node[from];
+        let to_node = logical_to_node[to];
+        let sp = paths_cache[from_node.index()].get_or_insert_with(|| {
+            shortest_path::dijkstra(platform.graph(), from_node, None, |_, cost| {
+                cost.link_time(slice_size)
+            })
+        });
+        let path = sp
+            .path_edges(platform.graph(), to_node)
+            .ok_or(CoreError::Unreachable { source })?;
+        edges.extend(path);
+    }
+    BroadcastStructure::new(platform, source, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::steady_state_throughput;
+    use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+    use bcast_platform::{CommModel, LinkCost};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Complete platform over `n` nodes with unit link times.
+    fn complete(n: usize) -> Platform {
+        let mut b = Platform::builder();
+        let p = b.add_processors(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_bidirectional_link(p[i], p[j], LinkCost::one_port(0.0, 1.0));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn binomial_on_power_of_two_complete_graph_is_a_tree() {
+        let p = complete(8);
+        let t = binomial_tree(&p, NodeId(0), 1.0).unwrap();
+        // Every logical transfer is a direct edge, so the overlay is exactly
+        // the binomial tree: 7 edges, max out-degree 3 at the source.
+        assert!(t.is_tree());
+        let arb = t.as_arborescence(&p).unwrap();
+        assert_eq!(arb.child_count(NodeId(0)), 3);
+        assert_eq!(arb.height(), 3);
+    }
+
+    #[test]
+    fn binomial_handles_non_power_of_two() {
+        let p = complete(6);
+        let t = binomial_tree(&p, NodeId(0), 1.0).unwrap();
+        assert!(t.is_tree());
+        // 2^m = 4 nodes in the core tree, logical nodes 4 and 5 hang off
+        // logical 0 and 1 respectively.
+        let arb = t.as_arborescence(&p).unwrap();
+        assert_eq!(arb.node_count(), 6);
+    }
+
+    #[test]
+    fn binomial_respects_the_requested_source() {
+        let p = complete(5);
+        let t = binomial_tree(&p, NodeId(3), 1.0).unwrap();
+        assert_eq!(t.source(), NodeId(3));
+        let arb = t.as_arborescence(&p).unwrap();
+        assert_eq!(arb.root(), NodeId(3));
+    }
+
+    #[test]
+    fn missing_direct_edges_are_routed_through_shortest_paths() {
+        // Ring of 6 nodes: most binomial transfers need multi-hop routes.
+        let mut b = Platform::builder();
+        let p = b.add_processors(6);
+        for i in 0..6 {
+            b.add_bidirectional_link(p[i], p[(i + 1) % 6], LinkCost::one_port(0.0, 1.0));
+        }
+        let platform = b.build();
+        let t = binomial_tree(&platform, NodeId(0), 1.0).unwrap();
+        // Still spans every node even though the overlay reuses ring edges.
+        assert_eq!(t.node_count(), 6);
+        let tp = steady_state_throughput(&platform, &t, CommModel::OnePort, 1.0);
+        assert!(tp > 0.0 && tp.is_finite());
+    }
+
+    #[test]
+    fn binomial_ignores_heterogeneity_and_pays_for_it() {
+        // Node 0 has one fast neighbour (1) and the rest are reachable through
+        // it cheaply; the binomial schedule nonetheless sends directly from 0
+        // to distant logical ranks over slow links.
+        let mut rng = StdRng::seed_from_u64(33);
+        let platform = random_platform(&RandomPlatformConfig::paper(20, 0.15), &mut rng);
+        let binomial = binomial_tree(&platform, NodeId(0), 1.0e6).unwrap();
+        let grow =
+            crate::heuristics::grow::grow_tree(&platform, NodeId(0), CommModel::OnePort, 1.0e6)
+                .unwrap();
+        let tp_binomial =
+            steady_state_throughput(&platform, &binomial, CommModel::OnePort, 1.0e6);
+        let tp_grow = steady_state_throughput(&platform, &grow, CommModel::OnePort, 1.0e6);
+        assert!(
+            tp_grow >= tp_binomial,
+            "topology-aware growth ({tp_grow}) should not lose to the binomial baseline ({tp_binomial})"
+        );
+    }
+
+    #[test]
+    fn single_and_two_node_platforms() {
+        let p1 = complete(1);
+        let t1 = binomial_tree(&p1, NodeId(0), 1.0).unwrap();
+        assert_eq!(t1.edge_count(), 0);
+        let p2 = complete(2);
+        let t2 = binomial_tree(&p2, NodeId(0), 1.0).unwrap();
+        assert_eq!(t2.edge_count(), 1);
+        assert!(t2.is_tree());
+    }
+}

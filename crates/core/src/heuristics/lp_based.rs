@@ -1,0 +1,176 @@
+//! LP-based heuristics (paper Algorithms 6 and 7).
+//!
+//! Both heuristics start from the *communication graph*: the platform graph
+//! whose edge `e_{u,v}` is weighted by `n_{u,v}`, the number of message
+//! slices that cross the edge per time unit in the optimal Multiple-Tree-
+//! Pipelined solution (Section 4.1). Heavily loaded edges are the ones the
+//! optimal schedule finds most useful, so:
+//!
+//! * **LP-Prune** (Algorithm 6) removes the *least* loaded edges while the
+//!   platform stays spanning-connected from the source. (The paper's
+//!   pseudo-code sorts edges "by non-increasing value of `n_{u,v}`", but its
+//!   prose — "we delete the edges … carrying the fewest messages" — makes
+//!   the intent unambiguous; we follow the prose.)
+//! * **LP-Grow-Tree** (Algorithm 7) grows a spanning tree from the source,
+//!   always adding the frontier edge with the *largest* load.
+
+use crate::error::CoreError;
+use crate::tree::BroadcastStructure;
+use bcast_net::{spanning, traversal, EdgeId, NodeId};
+use bcast_platform::Platform;
+
+/// Algorithm 6 — prune the communication graph, keeping the most loaded edges.
+///
+/// `edge_load[e]` must hold the optimal per-edge load `n_{u,v}` (one entry
+/// per platform edge), as produced by [`crate::optimal::optimal_throughput`].
+pub fn lp_prune(
+    platform: &Platform,
+    source: NodeId,
+    edge_load: &[f64],
+) -> Result<BroadcastStructure, CoreError> {
+    assert_eq!(
+        edge_load.len(),
+        platform.edge_count(),
+        "one load value per platform edge is required"
+    );
+    let graph = platform.graph();
+    let n = platform.node_count();
+    let mut mask = vec![true; platform.edge_count()];
+    let mut live = platform.edge_count();
+
+    // Least-loaded edges first; ties broken towards slower links so that,
+    // among equally useless edges, the expensive ones disappear first.
+    let mut order: Vec<EdgeId> = platform.edges().collect();
+    order.sort_by(|&a, &b| {
+        edge_load[a.index()]
+            .partial_cmp(&edge_load[b.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    for e in order {
+        if live <= n.saturating_sub(1) {
+            break;
+        }
+        mask[e.index()] = false;
+        if traversal::all_reachable_from(graph, source, Some(&mask)) {
+            live -= 1;
+        } else {
+            mask[e.index()] = true;
+        }
+    }
+    let edges: Vec<EdgeId> = platform.edges().filter(|e| mask[e.index()]).collect();
+    BroadcastStructure::new(platform, source, edges)
+}
+
+/// Algorithm 7 — grow a spanning tree over the communication graph,
+/// following the most loaded edges.
+pub fn lp_grow(
+    platform: &Platform,
+    source: NodeId,
+    edge_load: &[f64],
+) -> Result<BroadcastStructure, CoreError> {
+    assert_eq!(
+        edge_load.len(),
+        platform.edge_count(),
+        "one load value per platform edge is required"
+    );
+    let graph = platform.graph();
+    // `grow_arborescence` minimises its cost, so use the negated load.
+    let edges = spanning::grow_arborescence(graph, source, |_u, _v, edge, _children| {
+        -edge_load[edge.index()]
+    })
+    .ok_or(CoreError::Unreachable { source })?;
+    BroadcastStructure::new(platform, source, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::{optimal_throughput, OptimalMethod};
+    use crate::throughput::steady_state_throughput;
+    use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+    use bcast_platform::{CommModel, LinkCost};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Diamond platform: 0 -> {1, 2} -> 3 plus a slow direct 0 -> 3 link.
+    fn diamond() -> Platform {
+        let mut b = Platform::builder();
+        let p = b.add_processors(4);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0)); // e0,e1
+        b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 1.0)); // e2,e3
+        b.add_bidirectional_link(p[1], p[3], LinkCost::one_port(0.0, 1.0)); // e4,e5
+        b.add_bidirectional_link(p[2], p[3], LinkCost::one_port(0.0, 1.0)); // e6,e7
+        b.add_bidirectional_link(p[0], p[3], LinkCost::one_port(0.0, 10.0)); // e8,e9
+        b.build()
+    }
+
+    #[test]
+    fn lp_grow_follows_the_loaded_edges() {
+        let p = diamond();
+        // Hand-crafted loads: the path through node 1 is heavily used, the
+        // slow direct link is not.
+        let mut loads = vec![0.0; p.edge_count()];
+        loads[0] = 5.0; // 0 -> 1
+        loads[2] = 3.0; // 0 -> 2
+        loads[4] = 5.0; // 1 -> 3
+        loads[6] = 1.0; // 2 -> 3
+        loads[8] = 0.1; // 0 -> 3 (slow)
+        let t = lp_grow(&p, NodeId(0), &loads).unwrap();
+        assert!(t.is_tree());
+        assert!(t.edges().contains(&EdgeId(0)));
+        assert!(t.edges().contains(&EdgeId(4)));
+        assert!(!t.edges().contains(&EdgeId(8)), "slow unused link must not be chosen");
+    }
+
+    #[test]
+    fn lp_prune_discards_the_least_loaded_edges() {
+        let p = diamond();
+        let mut loads = vec![0.0; p.edge_count()];
+        loads[0] = 5.0;
+        loads[2] = 3.0;
+        loads[4] = 5.0;
+        loads[6] = 1.0;
+        loads[8] = 0.1;
+        let t = lp_prune(&p, NodeId(0), &loads).unwrap();
+        assert!(t.is_tree());
+        assert!(!t.edges().contains(&EdgeId(8)));
+        assert!(t.edges().contains(&EdgeId(0)));
+    }
+
+    #[test]
+    fn lp_heuristics_work_with_real_optimal_loads() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let platform = random_platform(&RandomPlatformConfig::paper(14, 0.15), &mut rng);
+        let source = NodeId(0);
+        let optimal =
+            optimal_throughput(&platform, source, 1.0e6, OptimalMethod::CutGeneration).unwrap();
+        let grow = lp_grow(&platform, source, &optimal.edge_load).unwrap();
+        let prune = lp_prune(&platform, source, &optimal.edge_load).unwrap();
+        for t in [&grow, &prune] {
+            assert!(t.is_tree());
+            let tp = steady_state_throughput(&platform, t, CommModel::OnePort, 1.0e6);
+            assert!(tp > 0.0 && tp.is_finite());
+            // A single tree can never beat the multi-tree optimum.
+            assert!(tp <= optimal.throughput * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one load value per platform edge")]
+    fn wrong_load_length_panics() {
+        let p = diamond();
+        let _ = lp_grow(&p, NodeId(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_loads_still_produce_a_tree() {
+        let p = diamond();
+        let loads = vec![0.0; p.edge_count()];
+        let t = lp_grow(&p, NodeId(0), &loads).unwrap();
+        assert!(t.is_tree());
+        let t2 = lp_prune(&p, NodeId(0), &loads).unwrap();
+        assert!(t2.is_tree());
+    }
+}

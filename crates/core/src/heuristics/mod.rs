@@ -1,0 +1,242 @@
+//! The broadcast-tree heuristics of the paper.
+//!
+//! | paper | heuristic | module |
+//! |-------|-----------|--------|
+//! | Algorithm 1 | Simple Platform Pruning (`Topo-Prune-Simple`) | [`prune`] |
+//! | Algorithm 2 | Refined Platform Pruning (`Topo-Prune-Degree`) | [`prune`] |
+//! | Algorithm 3 | Growing Minimum Weighted Out-Degree Tree (`Grow-Tree`) | [`grow`] |
+//! | Algorithm 4 | Binomial tree (MPI-style, topology-blind) | [`binomial`] |
+//! | Algorithm 5 | Multi-port Growing Tree | [`grow`] (multi-port cost) |
+//! | Algorithm 6 | LP-Prune (communication-graph pruning) | [`lp_based`] |
+//! | Algorithm 7 | LP-Grow-Tree (communication-graph growth) | [`lp_based`] |
+//! | Section 5.2.2 | Multi-port Prune Degree | [`prune`] (multi-port cost) |
+//!
+//! All heuristics are exposed uniformly through [`build_structure`]; the
+//! LP-based ones accept precomputed edge loads through
+//! [`build_structure_with_loads`] so that a single LP solve can be shared by
+//! several heuristics (as the experiment harness does).
+
+pub mod binomial;
+pub mod grow;
+pub mod lp_based;
+pub mod prune;
+
+use crate::error::CoreError;
+use crate::optimal::{optimal_throughput, OptimalMethod, OptimalThroughput};
+use crate::tree::BroadcastStructure;
+use bcast_net::NodeId;
+use bcast_platform::{CommModel, Platform};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the paper's heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeuristicKind {
+    /// Algorithm 1 — prune the heaviest edges while the graph stays connected.
+    PruneSimple,
+    /// Algorithm 2 — prune the heaviest edge of the node with the largest
+    /// weighted out-degree.
+    PruneDegree,
+    /// Algorithm 3 / 5 — grow a tree minimising the weighted out-degree
+    /// (one-port) or the node period (multi-port).
+    GrowTree,
+    /// Algorithm 4 — index-based binomial tree routed along shortest paths.
+    Binomial,
+    /// Algorithm 6 — prune the platform keeping the edges that carry the most
+    /// messages in the optimal MTP solution.
+    LpPrune,
+    /// Algorithm 7 — grow a tree following the most loaded edges of the
+    /// optimal MTP solution.
+    LpGrow,
+}
+
+impl HeuristicKind {
+    /// All heuristics, in the order used by the paper's figures.
+    pub const ALL: [HeuristicKind; 6] = [
+        HeuristicKind::PruneSimple,
+        HeuristicKind::PruneDegree,
+        HeuristicKind::GrowTree,
+        HeuristicKind::LpGrow,
+        HeuristicKind::LpPrune,
+        HeuristicKind::Binomial,
+    ];
+
+    /// The label used in the paper's plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeuristicKind::PruneSimple => "Prune Platform Simple",
+            HeuristicKind::PruneDegree => "Prune Platform Degree",
+            HeuristicKind::GrowTree => "Grow Tree",
+            HeuristicKind::Binomial => "Binomial Tree",
+            HeuristicKind::LpPrune => "LP Prune",
+            HeuristicKind::LpGrow => "LP Grow Tree",
+        }
+    }
+
+    /// True when the heuristic needs the edge loads of the optimal MTP
+    /// solution (the `n_{u,v}` values of the linear program).
+    pub fn needs_lp(self) -> bool {
+        matches!(self, HeuristicKind::LpPrune | HeuristicKind::LpGrow)
+    }
+}
+
+/// Builds the broadcast structure chosen by `kind` for a broadcast from
+/// `source`, using slices of `slice_size` bytes under the given port model.
+///
+/// For the LP-based heuristics this solves the MTP linear program first
+/// (with the cut-generation solver); use [`build_structure_with_loads`] to
+/// reuse an existing solution.
+pub fn build_structure(
+    platform: &Platform,
+    source: NodeId,
+    kind: HeuristicKind,
+    model: CommModel,
+    slice_size: f64,
+) -> Result<BroadcastStructure, CoreError> {
+    if kind.needs_lp() {
+        let optimal = optimal_throughput(platform, source, slice_size, OptimalMethod::CutGeneration)?;
+        return build_structure_with_loads(platform, source, kind, model, slice_size, Some(&optimal));
+    }
+    build_structure_with_loads(platform, source, kind, model, slice_size, None)
+}
+
+/// Same as [`build_structure`], but the LP-based heuristics take their edge
+/// loads from `optimal` instead of re-solving the linear program.
+///
+/// # Errors
+/// Returns [`CoreError::Unreachable`] when the platform cannot be spanned
+/// from `source`, and [`CoreError::Lp`] if an LP-based heuristic is requested
+/// without loads and the LP solver fails.
+pub fn build_structure_with_loads(
+    platform: &Platform,
+    source: NodeId,
+    kind: HeuristicKind,
+    model: CommModel,
+    slice_size: f64,
+    optimal: Option<&OptimalThroughput>,
+) -> Result<BroadcastStructure, CoreError> {
+    if platform.node_count() == 0 {
+        return Err(CoreError::EmptyPlatform);
+    }
+    if !platform.is_broadcast_feasible(source) {
+        return Err(CoreError::Unreachable { source });
+    }
+    match kind {
+        HeuristicKind::PruneSimple => prune::prune_simple(platform, source, slice_size),
+        HeuristicKind::PruneDegree => prune::prune_degree(platform, source, model, slice_size),
+        HeuristicKind::GrowTree => grow::grow_tree(platform, source, model, slice_size),
+        HeuristicKind::Binomial => binomial::binomial_tree(platform, source, slice_size),
+        HeuristicKind::LpPrune | HeuristicKind::LpGrow => {
+            let owned;
+            let loads = match optimal {
+                Some(o) => &o.edge_load,
+                None => {
+                    owned = optimal_throughput(
+                        platform,
+                        source,
+                        slice_size,
+                        OptimalMethod::CutGeneration,
+                    )?;
+                    &owned.edge_load
+                }
+            };
+            if kind == HeuristicKind::LpPrune {
+                lp_based::lp_prune(platform, source, loads)
+            } else {
+                lp_based::lp_grow(platform, source, loads)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::steady_state_throughput;
+    use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+    use bcast_platform::LinkCost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_platform() -> Platform {
+        let mut rng = StdRng::seed_from_u64(17);
+        random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng)
+    }
+
+    #[test]
+    fn every_heuristic_produces_a_spanning_structure() {
+        let platform = small_platform();
+        let source = NodeId(0);
+        for kind in HeuristicKind::ALL {
+            let s = build_structure(&platform, source, kind, CommModel::OnePort, 1.0e6)
+                .unwrap_or_else(|e| panic!("{kind:?} failed: {e}"));
+            assert_eq!(s.source(), source);
+            // Every heuristic except the binomial one returns a tree.
+            if kind != HeuristicKind::Binomial {
+                assert!(s.is_tree(), "{kind:?} should return a spanning tree");
+                s.as_arborescence(&platform).unwrap();
+            }
+            let tp = steady_state_throughput(&platform, &s, CommModel::OnePort, 1.0e6);
+            assert!(tp.is_finite() && tp > 0.0);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let labels: std::collections::HashSet<_> =
+            HeuristicKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), HeuristicKind::ALL.len());
+        assert_eq!(HeuristicKind::PruneSimple.label(), "Prune Platform Simple");
+    }
+
+    #[test]
+    fn lp_heuristics_accept_precomputed_loads() {
+        let platform = small_platform();
+        let source = NodeId(1);
+        let optimal = optimal_throughput(&platform, source, 1.0e6, OptimalMethod::CutGeneration)
+            .expect("optimal solvable");
+        for kind in [HeuristicKind::LpPrune, HeuristicKind::LpGrow] {
+            let s = build_structure_with_loads(
+                &platform,
+                source,
+                kind,
+                CommModel::OnePort,
+                1.0e6,
+                Some(&optimal),
+            )
+            .unwrap();
+            assert!(s.is_tree());
+        }
+    }
+
+    #[test]
+    fn unreachable_source_is_reported() {
+        let mut b = Platform::builder();
+        let n = b.add_processors(3);
+        b.add_link(n[0], n[1], LinkCost::default());
+        // node 2 has no incoming link at all
+        b.add_link(n[2], n[0], LinkCost::default());
+        let p = b.build();
+        for kind in HeuristicKind::ALL {
+            let err = build_structure(&p, NodeId(0), kind, CommModel::OnePort, 1.0).unwrap_err();
+            assert_eq!(err, CoreError::Unreachable { source: NodeId(0) });
+        }
+    }
+
+    #[test]
+    fn needs_lp_flags_only_lp_heuristics() {
+        assert!(HeuristicKind::LpPrune.needs_lp());
+        assert!(HeuristicKind::LpGrow.needs_lp());
+        assert!(!HeuristicKind::GrowTree.needs_lp());
+        assert!(!HeuristicKind::Binomial.needs_lp());
+    }
+
+    #[test]
+    fn multiport_heuristics_also_span() {
+        let platform = small_platform().with_multiport_overheads(0.8, 1.0e6);
+        for kind in [HeuristicKind::GrowTree, HeuristicKind::PruneDegree] {
+            let s = build_structure(&platform, NodeId(0), kind, CommModel::MultiPort, 1.0e6)
+                .unwrap();
+            assert!(s.is_tree());
+        }
+    }
+}

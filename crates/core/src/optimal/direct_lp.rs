@@ -1,0 +1,179 @@
+//! Verbatim transcription of the Steady-State Broadcast linear program
+//! SSB(G) (paper equation (2)).
+//!
+//! Variables (all non-negative):
+//!
+//! * `TP` — the broadcast throughput (the objective),
+//! * `x[e][w]` — slices destined to processor `w` crossing edge `e` per time
+//!   unit,
+//! * `n[e]` — total slices crossing edge `e` per time unit.
+//!
+//! Constraints (paper labels in parentheses):
+//!
+//! * (a) for every destination `w`: the flow of commodity `w` leaving the
+//!   source equals `TP`;
+//! * (b) for every destination `w`: the flow of commodity `w` entering `w`
+//!   equals `TP`;
+//! * (c) conservation of commodity `w` at every other node;
+//! * (d) `x[e][w] ≤ n[e]` — the linearisation of `n[e] = max_w x[e][w]`,
+//!   valid because the optimum never pays for a larger `n[e]` than needed;
+//! * (e)–(h) `n[e]·T_e ≤ 1` for every edge;
+//! * (f, i) one-port input constraint `Σ_in n[e]·T_e ≤ 1` at every node;
+//! * (g, j) one-port output constraint `Σ_out n[e]·T_e ≤ 1` at every node.
+
+use crate::error::CoreError;
+use crate::optimal::OptimalThroughput;
+use bcast_lp::{LpProblem, Sense, VarId};
+use bcast_net::NodeId;
+use bcast_platform::Platform;
+
+/// Solves LP (2) directly. Exact but large: `|E|·(p−1)` flow variables.
+pub fn solve(
+    platform: &Platform,
+    source: NodeId,
+    slice_size: f64,
+) -> Result<OptimalThroughput, CoreError> {
+    let graph = platform.graph();
+    let p = platform.node_count();
+    let m = platform.edge_count();
+    let destinations: Vec<NodeId> = platform.nodes().filter(|&u| u != source).collect();
+
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let tp = lp.add_var("TP", 1.0);
+    // n[e]
+    let n_vars: Vec<VarId> = (0..m).map(|e| lp.add_var(format!("n_{e}"), 0.0)).collect();
+    // x[e][w] laid out edge-major.
+    let x_var = |e: usize, w: usize| VarId(1 + m + e * destinations.len() + w);
+    for e in 0..m {
+        for (wi, w) in destinations.iter().enumerate() {
+            let v = lp.add_var(format!("x_{e}_{w}"), 0.0);
+            debug_assert_eq!(v, x_var(e, wi));
+        }
+    }
+
+    // (a) commodity w leaving the source = TP. The paper states the gross
+    // outflow; we use the net outflow (and forbid nothing else), otherwise a
+    // cycle through the source could inflate the gross sum without delivering
+    // anything — the intended meaning is clearly a genuine flow of value TP.
+    for (wi, _w) in destinations.iter().enumerate() {
+        let mut terms: Vec<(VarId, f64)> = graph
+            .out_edges(source)
+            .map(|e| (x_var(e.id.index(), wi), 1.0))
+            .collect();
+        terms.extend(
+            graph
+                .in_edges(source)
+                .map(|e| (x_var(e.id.index(), wi), -1.0)),
+        );
+        terms.push((tp, -1.0));
+        lp.add_eq(&terms, 0.0);
+    }
+    // (b) commodity w entering w = TP (net inflow, see the note on (a)).
+    for (wi, w) in destinations.iter().enumerate() {
+        let mut terms: Vec<(VarId, f64)> = graph
+            .in_edges(*w)
+            .map(|e| (x_var(e.id.index(), wi), 1.0))
+            .collect();
+        terms.extend(
+            graph
+                .out_edges(*w)
+                .map(|e| (x_var(e.id.index(), wi), -1.0)),
+        );
+        terms.push((tp, -1.0));
+        lp.add_eq(&terms, 0.0);
+    }
+    // (c) conservation of commodity w at every node v ∉ {source, w}
+    for (wi, w) in destinations.iter().enumerate() {
+        for v in platform.nodes() {
+            if v == source || v == *w {
+                continue;
+            }
+            let mut terms: Vec<(VarId, f64)> = graph
+                .in_edges(v)
+                .map(|e| (x_var(e.id.index(), wi), 1.0))
+                .collect();
+            terms.extend(
+                graph
+                    .out_edges(v)
+                    .map(|e| (x_var(e.id.index(), wi), -1.0)),
+            );
+            lp.add_eq(&terms, 0.0);
+        }
+    }
+    // (d) x[e][w] ≤ n[e]
+    for e in 0..m {
+        for wi in 0..destinations.len() {
+            lp.add_le(&[(x_var(e, wi), 1.0), (n_vars[e], -1.0)], 0.0);
+        }
+    }
+    // (e)+(h) per-edge occupation ≤ 1
+    for e in platform.edges() {
+        let t = platform.link_time(e, slice_size);
+        lp.add_le(&[(n_vars[e.index()], t)], 1.0);
+    }
+    // (f)+(i) and (g)+(j): one-port constraints per node
+    for u in platform.nodes() {
+        let in_terms: Vec<(VarId, f64)> = graph
+            .in_edges(u)
+            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
+            .collect();
+        if !in_terms.is_empty() {
+            lp.add_le(&in_terms, 1.0);
+        }
+        let out_terms: Vec<(VarId, f64)> = graph
+            .out_edges(u)
+            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
+            .collect();
+        if !out_terms.is_empty() {
+            lp.add_le(&out_terms, 1.0);
+        }
+    }
+
+    let _ = p;
+    let solution = lp.solve().map_err(CoreError::Lp)?;
+    let edge_load: Vec<f64> = n_vars.iter().map(|&v| solution.value(v)).collect();
+    Ok(OptimalThroughput {
+        throughput: solution.value(tp),
+        edge_load,
+        iterations: solution.iterations,
+        cuts: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_platform::LinkCost;
+
+    /// A directed 4-node diamond (0→1, 0→2, 1→3, 2→3) over unit links.
+    /// Destination 1 is only reachable through the edge 0→1 and destination 2
+    /// only through 0→2, so TP ≤ min(n01, n02); the source's out-port imposes
+    /// n01 + n02 ≤ 1, hence TP ≤ 1/2 — and 1/2 is feasible.
+    #[test]
+    fn diamond_optimum_matches_manual_analysis() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(4);
+        b.add_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_link(p[0], p[2], LinkCost::one_port(0.0, 1.0));
+        b.add_link(p[1], p[3], LinkCost::one_port(0.0, 1.0));
+        b.add_link(p[2], p[3], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let o = solve(&platform, NodeId(0), 1.0).unwrap();
+        assert!((o.throughput - 0.5).abs() < 1e-6, "TP = {}", o.throughput);
+    }
+
+    #[test]
+    fn loads_are_consistent_with_flows() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 2.0));
+        let platform = b.build();
+        let o = solve(&platform, NodeId(0), 1.0).unwrap();
+        // Chain: throughput limited by the slow second link: 1/2.
+        assert!((o.throughput - 0.5).abs() < 1e-6);
+        // The first link carries every slice, so its load equals TP.
+        let e01 = platform.graph().find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!((o.edge_load[e01.index()] - o.throughput).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,251 @@
+//! Optimal throughput of the Multiple-Tree-Pipelined (MTP) broadcast.
+//!
+//! The paper (Section 4.1) computes the best achievable steady-state
+//! broadcast throughput — over *all* ways of splitting the message across
+//! several simultaneous broadcast trees — as the optimum of the linear
+//! program SSB(G) (equation (2)). The value serves as the absolute yardstick
+//! for the single-tree heuristics, and the per-edge loads `n_{u,v}` of the
+//! optimal solution drive the LP-based heuristics.
+//!
+//! Two interchangeable solvers are provided:
+//!
+//! * [`direct_lp`] — a verbatim transcription of LP (2); its size grows as
+//!   `|E| · (p − 1)` variables, fine for small platforms and used to
+//!   cross-validate the second solver;
+//! * [`cut_gen`] — a Benders-style cut-generation reformulation: the LP is
+//!   equivalent to maximising `TP` over port-feasible edge capacities
+//!   `n_{u,v}` such that **every** source→destination cut has capacity at
+//!   least `TP` (max-flow/min-cut). The master LP has only `|E| + 1`
+//!   variables; violated cuts are found by max-flow computations and added
+//!   lazily. This is the solver used by the experiment harness.
+
+pub mod cut_gen;
+pub mod direct_lp;
+
+use crate::error::CoreError;
+use bcast_net::NodeId;
+use bcast_platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Which algorithm computes the MTP optimum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptimalMethod {
+    /// The full linear program (2) of the paper, solved in one shot.
+    DirectLp,
+    /// Cut-generation over the equivalent capacity formulation (default).
+    CutGeneration,
+}
+
+/// Result of the MTP optimal-throughput computation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OptimalThroughput {
+    /// Optimal steady-state throughput `TP` (slices per time unit).
+    pub throughput: f64,
+    /// Optimal per-edge loads `n_{u,v}` (slices crossing each edge per time
+    /// unit), indexed by platform edge.
+    pub edge_load: Vec<f64>,
+    /// Simplex pivots (direct LP) or master-LP solves (cut generation).
+    pub iterations: usize,
+    /// Number of cut constraints generated (0 for the direct LP).
+    pub cuts: usize,
+}
+
+impl OptimalThroughput {
+    /// The throughput expressed as bytes per second for slices of
+    /// `slice_size` bytes.
+    pub fn bandwidth(&self, slice_size: f64) -> f64 {
+        self.throughput * slice_size
+    }
+}
+
+/// Computes the optimal MTP throughput for a broadcast from `source` with
+/// slices of `slice_size` bytes, under the bidirectional one-port model.
+///
+/// A single-processor platform has nothing to broadcast; its throughput is
+/// reported as `f64::INFINITY` with empty loads.
+pub fn optimal_throughput(
+    platform: &Platform,
+    source: NodeId,
+    slice_size: f64,
+    method: OptimalMethod,
+) -> Result<OptimalThroughput, CoreError> {
+    if platform.node_count() == 0 {
+        return Err(CoreError::EmptyPlatform);
+    }
+    if platform.node_count() == 1 {
+        return Ok(OptimalThroughput {
+            throughput: f64::INFINITY,
+            edge_load: vec![0.0; platform.edge_count()],
+            iterations: 0,
+            cuts: 0,
+        });
+    }
+    if !platform.is_broadcast_feasible(source) {
+        return Err(CoreError::Unreachable { source });
+    }
+    match method {
+        OptimalMethod::DirectLp => direct_lp::solve(platform, source, slice_size),
+        OptimalMethod::CutGeneration => cut_gen::solve(platform, source, slice_size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+    use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
+    use bcast_platform::LinkCost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1.0),
+            "expected ≈ {b}, got {a}"
+        );
+    }
+
+    /// Two nodes, one link of time `T = 2` per slice: the source can send a
+    /// slice every 2 time units, so TP = 1/2.
+    #[test]
+    fn two_node_platform_throughput_is_link_rate() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(2);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 2.0));
+        let platform = b.build();
+        for method in [OptimalMethod::DirectLp, OptimalMethod::CutGeneration] {
+            let o = optimal_throughput(&platform, NodeId(0), 1.0, method).unwrap();
+            assert_close(o.throughput, 0.5, 1e-6);
+        }
+    }
+
+    /// Star of two leaves over unit links: the source's out-port constraint
+    /// `n1·T + n2·T ≤ 1` with both destinations needing TP gives TP = 1/2.
+    #[test]
+    fn star_two_leaves_is_half() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        for method in [OptimalMethod::DirectLp, OptimalMethod::CutGeneration] {
+            let o = optimal_throughput(&platform, NodeId(0), 1.0, method).unwrap();
+            assert_close(o.throughput, 0.5, 1e-6);
+        }
+    }
+
+    /// Complete triangle over unit links: the source can send each slice to
+    /// one child which forwards it to the other, alternating, so the optimum
+    /// reaches 1 slice per time unit — strictly better than the best single
+    /// tree (2/3... actually 1/2 for a star, 1 for a chain). TP = 1.
+    #[test]
+    fn triangle_reaches_full_rate() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        for method in [OptimalMethod::DirectLp, OptimalMethod::CutGeneration] {
+            let o = optimal_throughput(&platform, NodeId(0), 1.0, method).unwrap();
+            assert_close(o.throughput, 1.0, 1e-6);
+        }
+    }
+
+    /// The single-tree optimum on a chain equals the MTP optimum (there is
+    /// only one spanning tree), sanity-checking absolute values.
+    #[test]
+    fn chain_throughput_is_bottleneck_rate() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 4.0));
+        let platform = b.build();
+        for method in [OptimalMethod::DirectLp, OptimalMethod::CutGeneration] {
+            let o = optimal_throughput(&platform, NodeId(0), 1.0, method).unwrap();
+            assert_close(o.throughput, 0.25, 1e-6);
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_small_random_platforms() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..4 {
+            let platform = random_platform(&RandomPlatformConfig::paper(8, 0.2), &mut rng);
+            let a = optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::DirectLp)
+                .unwrap_or_else(|e| panic!("direct LP failed on instance {i}: {e}"));
+            let b = optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration)
+                .unwrap();
+            assert_close(a.throughput, b.throughput, 1e-4);
+        }
+    }
+
+    #[test]
+    fn loads_satisfy_port_constraints() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let platform = random_platform(&RandomPlatformConfig::paper(15, 0.12), &mut rng);
+        let o = optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration)
+            .unwrap();
+        assert_eq!(o.edge_load.len(), platform.edge_count());
+        for u in platform.nodes() {
+            let out: f64 = platform
+                .graph()
+                .out_edges(u)
+                .map(|e| o.edge_load[e.id.index()] * e.payload.link_time(1.0e6))
+                .sum();
+            let inc: f64 = platform
+                .graph()
+                .in_edges(u)
+                .map(|e| o.edge_load[e.id.index()] * e.payload.link_time(1.0e6))
+                .sum();
+            assert!(out <= 1.0 + 1e-6, "out-port violated at {u}: {out}");
+            assert!(inc <= 1.0 + 1e-6, "in-port violated at {u}: {inc}");
+        }
+        assert!(o.throughput > 0.0);
+    }
+
+    #[test]
+    fn single_node_platform_has_infinite_throughput() {
+        let mut b = Platform::builder();
+        b.add_processor("only");
+        let platform = b.build();
+        let o =
+            optimal_throughput(&platform, NodeId(0), 1.0, OptimalMethod::CutGeneration).unwrap();
+        assert!(o.throughput.is_infinite());
+    }
+
+    #[test]
+    fn unreachable_platform_is_an_error() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_link(p[0], p[1], LinkCost::default());
+        let platform = b.build();
+        for method in [OptimalMethod::DirectLp, OptimalMethod::CutGeneration] {
+            let err = optimal_throughput(&platform, NodeId(0), 1.0, method).unwrap_err();
+            assert_eq!(err, CoreError::Unreachable { source: NodeId(0) });
+        }
+    }
+
+    #[test]
+    fn tiers_platform_is_solvable_with_cut_generation() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let platform = tiers_platform(&TiersConfig::paper_30(), &mut rng);
+        let o = optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration)
+            .unwrap();
+        assert!(o.throughput > 0.0 && o.throughput.is_finite());
+        assert!(o.cuts > 0);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_slice_size() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(2);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::from_bandwidth(100.0));
+        let platform = b.build();
+        let o = optimal_throughput(&platform, NodeId(0), 10.0, OptimalMethod::CutGeneration)
+            .unwrap();
+        // 10-byte slices over a 100 B/s link: 10 slices/s, i.e. 100 B/s.
+        assert_close(o.throughput, 10.0, 1e-6);
+        assert_close(o.bandwidth(10.0), 100.0, 1e-6);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! 1. **Optimal solver** — direct LP (2) vs the cut-generation reformulation:
+//!    value agreement and wall-clock time as the platform grows.
+//! 2. **Pruning metric** — maximum edge weight (Algorithm 1) vs weighted
+//!    out-degree (Algorithm 2): the throughput gap the refined metric buys.
+//! 3. **Multi-port overlap sensitivity** — the paper fixes
+//!    `send_u = 0.8 · min_w T_{u,w}` and claims the results "do not strongly
+//!    depend" on the factor; we sweep it.
+//!
+//! ```text
+//! cargo run --release -p bcast-experiments --bin ablation -- [--configs N] [--seed S]
+//! ```
+
+use bcast_core::evaluation::mean_and_deviation;
+use bcast_core::heuristics::{build_structure, HeuristicKind};
+use bcast_core::optimal::{optimal_throughput, OptimalMethod};
+use bcast_core::throughput::steady_state_throughput;
+use bcast_experiments::{AsciiTable, ExperimentArgs};
+use bcast_net::NodeId;
+use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+use bcast_platform::CommModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const SLICE: f64 = 1.0e6;
+
+fn main() {
+    let args = ExperimentArgs::from_env(10);
+    solver_ablation(&args);
+    pruning_metric_ablation(&args);
+    overlap_sensitivity(&args);
+}
+
+/// Ablation 1: direct LP vs cut generation.
+fn solver_ablation(args: &ExperimentArgs) {
+    println!("\nAblation 1 — MTP optimal solver: direct LP (2) vs cut generation");
+    let mut table = AsciiTable::new(vec![
+        "nodes", "density", "TP direct", "TP cut-gen", "rel. gap", "direct ms", "cut-gen ms",
+    ]);
+    let sizes: &[usize] = if args.quick { &[8, 10] } else { &[8, 10, 12, 16] };
+    for &nodes in sizes {
+        let mut rng = StdRng::seed_from_u64(args.seed + nodes as u64);
+        let platform = random_platform(&RandomPlatformConfig::paper(nodes, 0.15), &mut rng);
+        let t0 = Instant::now();
+        let direct =
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::DirectLp).unwrap();
+        let direct_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let t1 = Instant::now();
+        let cut =
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+        let cut_ms = t1.elapsed().as_secs_f64() * 1000.0;
+        let gap = (direct.throughput - cut.throughput).abs() / direct.throughput.max(1e-12);
+        table.add_row(vec![
+            nodes.to_string(),
+            "0.15".to_string(),
+            format!("{:.3}", direct.throughput),
+            format!("{:.3}", cut.throughput),
+            format!("{:.2e}", gap),
+            format!("{direct_ms:.1}"),
+            format!("{cut_ms:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Ablation 2: the refined pruning metric vs the simple one.
+fn pruning_metric_ablation(args: &ExperimentArgs) {
+    println!("Ablation 2 — pruning metric: max edge weight vs weighted out-degree");
+    let mut table = AsciiTable::new(vec!["nodes", "Prune Simple", "Prune Degree", "degree/simple"]);
+    for &nodes in &[10usize, 20, 30] {
+        let mut simple_rel = Vec::new();
+        let mut degree_rel = Vec::new();
+        for instance in 0..args.configs {
+            let mut rng = StdRng::seed_from_u64(args.seed + (nodes * 1000 + instance) as u64);
+            let platform = random_platform(&RandomPlatformConfig::paper(nodes, 0.12), &mut rng);
+            let optimal =
+                optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+                    .unwrap();
+            for (kind, bucket) in [
+                (HeuristicKind::PruneSimple, &mut simple_rel),
+                (HeuristicKind::PruneDegree, &mut degree_rel),
+            ] {
+                let tree =
+                    build_structure(&platform, NodeId(0), kind, CommModel::OnePort, SLICE).unwrap();
+                let tp = steady_state_throughput(&platform, &tree, CommModel::OnePort, SLICE);
+                bucket.push(tp / optimal.throughput);
+            }
+        }
+        let (simple_mean, _) = mean_and_deviation(&simple_rel);
+        let (degree_mean, _) = mean_and_deviation(&degree_rel);
+        table.add_row(vec![
+            nodes.to_string(),
+            format!("{simple_mean:.3}"),
+            format!("{degree_mean:.3}"),
+            format!("{:.2}x", degree_mean / simple_mean.max(1e-12)),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Ablation 3: sensitivity of the multi-port results to the overlap factor.
+fn overlap_sensitivity(args: &ExperimentArgs) {
+    println!("Ablation 3 — multi-port overlap factor sensitivity (Grow Tree, 20 nodes)");
+    let mut table = AsciiTable::new(vec!["overlap", "mean relative perf", "deviation"]);
+    for &overlap in &[0.5f64, 0.65, 0.8, 0.95] {
+        let mut rel = Vec::new();
+        for instance in 0..args.configs {
+            let mut rng = StdRng::seed_from_u64(args.seed + instance as u64);
+            let platform = random_platform(&RandomPlatformConfig::paper(20, 0.12), &mut rng)
+                .with_multiport_overheads(overlap, SLICE);
+            let optimal =
+                optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+                    .unwrap();
+            let tree = build_structure(
+                &platform,
+                NodeId(0),
+                HeuristicKind::GrowTree,
+                CommModel::MultiPort,
+                SLICE,
+            )
+            .unwrap();
+            let tp = steady_state_throughput(&platform, &tree, CommModel::MultiPort, SLICE);
+            rel.push(tp / optimal.throughput);
+        }
+        let (mean, dev) = mean_and_deviation(&rel);
+        table.add_row(vec![
+            format!("{overlap:.2}"),
+            format!("{mean:.3}"),
+            format!("{dev:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+}

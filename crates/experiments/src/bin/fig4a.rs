@@ -1,0 +1,62 @@
+//! Figure 4(a): relative performance of the heuristics as a function of the
+//! number of nodes, one-port model, random platforms.
+//!
+//! For each node count in {10, 20, 30, 40, 50} the sweep averages the
+//! relative performance (heuristic throughput / MTP optimal throughput) over
+//! all densities {0.04 … 0.20} and all platform instances.
+//!
+//! ```text
+//! cargo run --release -p bcast-experiments --bin fig4a -- [--configs N] [--full] [--quick] [--csv out.csv]
+//! ```
+
+use bcast_core::heuristics::HeuristicKind;
+use bcast_experiments::{
+    aggregate_relative, random_sweep, write_csv, AsciiTable, ExperimentArgs, RandomSweepConfig,
+};
+
+fn main() {
+    let args = ExperimentArgs::from_env(10);
+    let mut config = RandomSweepConfig {
+        configs_per_point: args.configs,
+        seed: args.seed,
+        ..RandomSweepConfig::default()
+    };
+    if args.quick {
+        config.node_counts = vec![10, 20, 30];
+        config.densities = vec![0.08, 0.16];
+    }
+    eprintln!(
+        "fig4a: {} node counts × {} densities × {} instances (one-port)",
+        config.node_counts.len(),
+        config.densities.len(),
+        config.configs_per_point
+    );
+    let records = random_sweep(&config);
+    let aggregated = aggregate_relative(&records, |r| r.point.nodes);
+
+    let mut header = vec!["nodes".to_string()];
+    header.extend(HeuristicKind::ALL.iter().map(|h| h.label().to_string()));
+    let mut table = AsciiTable::new(header.clone());
+    let mut csv_rows = Vec::new();
+    for &nodes in &config.node_counts {
+        let mut row = vec![nodes.to_string()];
+        for h in HeuristicKind::ALL {
+            let value = aggregated
+                .iter()
+                .find(|(g, k, _, _)| *g == nodes && *k == h)
+                .map(|(_, _, mean, _)| *mean)
+                .unwrap_or(f64::NAN);
+            row.push(format!("{value:.3}"));
+        }
+        csv_rows.push(row.clone());
+        table.add_row(row);
+    }
+
+    println!("\nFigure 4(a) — relative performance vs number of nodes (one-port)");
+    println!("{}", table.render());
+    if let Some(path) = &args.csv {
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(path, &header_refs, &csv_rows).expect("failed to write CSV");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 4(b): relative performance of the heuristics as a function of the
+//! platform density, one-port model, random platforms.
+//!
+//! For each density in {0.04 … 0.20} the sweep averages the relative
+//! performance over all node counts {10 … 50} and platform instances.
+//!
+//! ```text
+//! cargo run --release -p bcast-experiments --bin fig4b -- [--configs N] [--full] [--quick] [--csv out.csv]
+//! ```
+
+use bcast_core::heuristics::HeuristicKind;
+use bcast_experiments::{
+    aggregate_relative, random_sweep, write_csv, AsciiTable, ExperimentArgs, RandomSweepConfig,
+};
+
+fn main() {
+    let args = ExperimentArgs::from_env(10);
+    let mut config = RandomSweepConfig {
+        configs_per_point: args.configs,
+        seed: args.seed,
+        ..RandomSweepConfig::default()
+    };
+    if args.quick {
+        config.node_counts = vec![10, 20, 30];
+        config.densities = vec![0.04, 0.12, 0.20];
+    }
+    eprintln!(
+        "fig4b: {} node counts × {} densities × {} instances (one-port)",
+        config.node_counts.len(),
+        config.densities.len(),
+        config.configs_per_point
+    );
+    let records = random_sweep(&config);
+    // Group by density (scaled to an integer key to avoid float-equality pitfalls).
+    let aggregated = aggregate_relative(&records, |r| (r.point.density * 1000.0).round() as i64);
+
+    let mut header = vec!["density".to_string()];
+    header.extend(HeuristicKind::ALL.iter().map(|h| h.label().to_string()));
+    let mut table = AsciiTable::new(header.clone());
+    let mut csv_rows = Vec::new();
+    for &density in &config.densities {
+        let key = (density * 1000.0).round() as i64;
+        let mut row = vec![format!("{density:.2}")];
+        for h in HeuristicKind::ALL {
+            let value = aggregated
+                .iter()
+                .find(|(g, k, _, _)| *g == key && *k == h)
+                .map(|(_, _, mean, _)| *mean)
+                .unwrap_or(f64::NAN);
+            row.push(format!("{value:.3}"));
+        }
+        csv_rows.push(row.clone());
+        table.add_row(row);
+    }
+
+    println!("\nFigure 4(b) — relative performance vs density (one-port)");
+    println!("{}", table.render());
+    if let Some(path) = &args.csv {
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(path, &header_refs, &csv_rows).expect("failed to write CSV");
+        eprintln!("wrote {path}");
+    }
+}

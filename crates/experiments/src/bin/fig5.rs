@@ -1,0 +1,78 @@
+//! Figure 5: relative performance of the multi-port heuristics as a function
+//! of the number of nodes, random platforms.
+//!
+//! The platforms carry the multi-port sender overheads of the paper
+//! (`send_u = 0.8 · min_w T_{u,w}`); the heuristics are evaluated under the
+//! multi-port model but compared — exactly as in the paper — to the one-port
+//! MTP optimum, which is why ratios above 1 are possible.
+//!
+//! ```text
+//! cargo run --release -p bcast-experiments --bin fig5 -- [--configs N] [--full] [--quick] [--csv out.csv]
+//! ```
+
+use bcast_core::heuristics::HeuristicKind;
+use bcast_experiments::{
+    aggregate_relative, random_sweep, write_csv, AsciiTable, ExperimentArgs, RandomSweepConfig,
+};
+use bcast_platform::CommModel;
+
+/// The heuristics plotted in the paper's Figure 5, with the labels used there.
+const FIG5_HEURISTICS: [(HeuristicKind, &str); 5] = [
+    (HeuristicKind::PruneDegree, "Multi Port Prune Degree"),
+    (HeuristicKind::GrowTree, "Multi Port Grow Tree"),
+    (HeuristicKind::LpGrow, "LP Grow Tree"),
+    (HeuristicKind::LpPrune, "LP Prune"),
+    (HeuristicKind::Binomial, "Binomial Tree"),
+];
+
+fn main() {
+    let args = ExperimentArgs::from_env(10);
+    let mut config = RandomSweepConfig {
+        configs_per_point: args.configs,
+        seed: args.seed,
+        model: CommModel::MultiPort,
+        multiport_overlap: Some(0.8),
+        heuristics: FIG5_HEURISTICS.iter().map(|(h, _)| *h).collect(),
+        ..RandomSweepConfig::default()
+    };
+    if args.quick {
+        config.node_counts = vec![10, 20, 30];
+        config.densities = vec![0.08, 0.16];
+    }
+    eprintln!(
+        "fig5: {} node counts × {} densities × {} instances (multi-port, overlap 0.8)",
+        config.node_counts.len(),
+        config.densities.len(),
+        config.configs_per_point
+    );
+    let records = random_sweep(&config);
+    let aggregated = aggregate_relative(&records, |r| r.point.nodes);
+
+    let mut header = vec!["nodes".to_string()];
+    header.extend(FIG5_HEURISTICS.iter().map(|(_, label)| label.to_string()));
+    let mut table = AsciiTable::new(header.clone());
+    let mut csv_rows = Vec::new();
+    for &nodes in &config.node_counts {
+        let mut row = vec![nodes.to_string()];
+        for (h, _) in FIG5_HEURISTICS {
+            let value = aggregated
+                .iter()
+                .find(|(g, k, _, _)| *g == nodes && *k == h)
+                .map(|(_, _, mean, _)| *mean)
+                .unwrap_or(f64::NAN);
+            row.push(format!("{value:.3}"));
+        }
+        csv_rows.push(row.clone());
+        table.add_row(row);
+    }
+
+    println!(
+        "\nFigure 5 — relative performance vs number of nodes (multi-port heuristics, one-port optimum)"
+    );
+    println!("{}", table.render());
+    if let Some(path) = &args.csv {
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(path, &header_refs, &csv_rows).expect("failed to write CSV");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Table 3: relative performance of the one-port heuristics on Tiers-like
+//! platforms with 30 and 65 nodes (mean ± deviation over the instances).
+//!
+//! ```text
+//! cargo run --release -p bcast-experiments --bin table3 -- [--configs N] [--full] [--csv out.csv]
+//! ```
+//!
+//! `--full` uses the paper's 100 platforms per size; the default keeps the
+//! run to a few instances so the table regenerates in minutes.
+
+use bcast_core::heuristics::HeuristicKind;
+use bcast_experiments::{
+    aggregate_relative, tiers_sweep, write_csv, AsciiTable, ExperimentArgs, TiersSweepConfig,
+};
+
+/// Column order of the paper's Table 3.
+const TABLE3_HEURISTICS: [HeuristicKind; 6] = [
+    HeuristicKind::PruneSimple,
+    HeuristicKind::PruneDegree,
+    HeuristicKind::GrowTree,
+    HeuristicKind::LpGrow,
+    HeuristicKind::LpPrune,
+    HeuristicKind::Binomial,
+];
+
+fn main() {
+    let args = ExperimentArgs::from_env(100);
+    let mut config = TiersSweepConfig {
+        configs_per_point: args.configs,
+        seed: args.seed,
+        heuristics: TABLE3_HEURISTICS.to_vec(),
+        ..TiersSweepConfig::default()
+    };
+    if args.quick {
+        config.node_counts = vec![30];
+    }
+    eprintln!(
+        "table3: Tiers platforms with {:?} nodes, {} instances each (one-port)",
+        config.node_counts, config.configs_per_point
+    );
+    let records = tiers_sweep(&config);
+    let aggregated = aggregate_relative(&records, |r| r.point.nodes);
+
+    let mut header = vec!["nodes".to_string()];
+    header.extend(TABLE3_HEURISTICS.iter().map(|h| h.label().to_string()));
+    let mut table = AsciiTable::new(header.clone());
+    let mut csv_rows = Vec::new();
+    for &nodes in &config.node_counts {
+        let mut row = vec![nodes.to_string()];
+        for h in TABLE3_HEURISTICS {
+            let cell = aggregated
+                .iter()
+                .find(|(g, k, _, _)| *g == nodes && *k == h)
+                .map(|(_, _, mean, dev)| format!("{:.0}% (±{:.0}%)", mean * 100.0, dev * 100.0))
+                .unwrap_or_else(|| "n/a".to_string());
+            row.push(cell);
+        }
+        csv_rows.push(row.clone());
+        table.add_row(row);
+    }
+
+    println!("\nTable 3 — one-port heuristics on Tiers-like platforms (mean ± deviation)");
+    println!("{}", table.render());
+    if let Some(path) = &args.csv {
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(path, &header_refs, &csv_rows).expect("failed to write CSV");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Only the handful of flags the binaries need are supported; anything else
+//! aborts with a usage message. (No external CLI crate is pulled in.)
+
+/// Common options of every experiment binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentArgs {
+    /// Number of platform instances per parameter point.
+    pub configs: usize,
+    /// Base RNG seed; instance `i` of a parameter point uses `seed + i`.
+    pub seed: u64,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+    /// Restrict the sweep to smaller platforms (quick smoke run).
+    pub quick: bool,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            configs: 3,
+            seed: 2004,
+            csv: None,
+            quick: false,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `args` (excluding the program name). `full_configs` is the
+    /// paper-scale instance count selected by `--full`.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        args: I,
+        full_configs: usize,
+    ) -> Result<Self, String> {
+        let mut out = ExperimentArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--configs" => {
+                    let v = iter.next().ok_or("--configs needs a value")?;
+                    out.configs = v.parse().map_err(|_| format!("bad --configs value: {v}"))?;
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                }
+                "--csv" => {
+                    out.csv = Some(iter.next().ok_or("--csv needs a path")?);
+                }
+                "--full" => out.configs = full_configs,
+                "--quick" => out.quick = true,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--configs N] [--full] [--quick] [--seed S] [--csv PATH]"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        if out.configs == 0 {
+            return Err("--configs must be at least 1".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Parses the current process arguments, exiting with a message on error.
+    pub fn from_env(full_configs: usize) -> Self {
+        match Self::parse(std::env::args().skip(1), full_configs) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<ExperimentArgs, String> {
+        ExperimentArgs::parse(words.iter().map(|s| s.to_string()), 10)
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, ExperimentArgs::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--configs", "7", "--seed", "99", "--csv", "out.csv", "--quick"]).unwrap();
+        assert_eq!(a.configs, 7);
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn full_selects_paper_scale() {
+        let a = parse(&["--full"]).unwrap();
+        assert_eq!(a.configs, 10);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--configs"]).is_err());
+        assert!(parse(&["--configs", "zero"]).is_err());
+        assert!(parse(&["--configs", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

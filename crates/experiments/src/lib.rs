@@ -1,0 +1,31 @@
+//! # bcast-experiments — reproduction harness for the paper's evaluation
+//!
+//! One binary per table/figure of the evaluation section (Section 5):
+//!
+//! | binary | reproduces | what it sweeps |
+//! |--------|------------|----------------|
+//! | `fig4a` | Figure 4(a) | relative performance vs number of nodes, one-port, random platforms |
+//! | `fig4b` | Figure 4(b) | relative performance vs density, one-port, random platforms |
+//! | `fig5`  | Figure 5    | relative performance vs number of nodes, multi-port, random platforms |
+//! | `table3`| Table 3     | relative performance on Tiers-like platforms (30 and 65 nodes), mean ± deviation |
+//! | `ablation` | design-choice ablations | direct LP vs cut generation; multi-port overlap sensitivity; pruning metric |
+//!
+//! All binaries accept `--configs N` (instances per parameter point,
+//! default 3), `--full` (the paper's 10 instances per point, 100 for
+//! Table 3), `--seed S` and `--csv PATH`. Results are printed as aligned
+//! ASCII tables mirroring the paper's presentation and optionally written as
+//! CSV for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod output;
+pub mod sweep;
+
+pub use cli::ExperimentArgs;
+pub use output::{write_csv, AsciiTable};
+pub use sweep::{
+    aggregate_relative, random_sweep, tiers_sweep, RandomSweepConfig, SweepPoint, SweepRecord,
+    TiersSweepConfig,
+};

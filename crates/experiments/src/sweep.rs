@@ -1,0 +1,348 @@
+//! Parameter sweeps over randomly generated and Tiers-like platforms.
+//!
+//! A sweep enumerates `(parameter point) × (instance index)` jobs, generates
+//! the corresponding platform deterministically from `seed + instance`, runs
+//! [`bcast_core::evaluation::evaluate_heuristics`] on it and collects one
+//! [`SweepRecord`] per heuristic. Jobs are distributed over worker threads
+//! with `crossbeam` scoped threads (the work is embarrassingly parallel).
+
+use bcast_core::evaluation::{evaluate_heuristics, mean_and_deviation};
+use bcast_core::heuristics::HeuristicKind;
+use bcast_net::NodeId;
+use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
+use bcast_platform::{CommModel, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One parameter point of a sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Number of processors of the generated platforms.
+    pub nodes: usize,
+    /// Requested edge density.
+    pub density: f64,
+}
+
+/// Result of one heuristic on one platform instance.
+#[derive(Clone, Debug)]
+pub struct SweepRecord {
+    /// The parameter point the instance was generated from.
+    pub point: SweepPoint,
+    /// Instance index within the point (0-based).
+    pub instance: usize,
+    /// Heuristic evaluated.
+    pub heuristic: HeuristicKind,
+    /// Steady-state throughput of the heuristic's structure.
+    pub throughput: f64,
+    /// Relative performance: throughput divided by the MTP optimum.
+    pub relative: f64,
+    /// The MTP optimal throughput of the instance (one-port model).
+    pub optimal: f64,
+}
+
+/// Configuration of a sweep over random platforms (paper Table 2).
+#[derive(Clone, Debug)]
+pub struct RandomSweepConfig {
+    /// Node counts to sweep (paper: 10, 20, 30, 40, 50).
+    pub node_counts: Vec<usize>,
+    /// Densities to sweep (paper: 0.04 … 0.20).
+    pub densities: Vec<f64>,
+    /// Instances per `(nodes, density)` point (paper: 10).
+    pub configs_per_point: usize,
+    /// Port model under which the heuristics are evaluated.
+    pub model: CommModel,
+    /// When set, platforms are converted to multi-port with this overlap
+    /// factor (`send_u = overlap · min_w T_{u,w}`, paper: 0.8).
+    pub multiport_overlap: Option<f64>,
+    /// Heuristics to evaluate.
+    pub heuristics: Vec<HeuristicKind>,
+    /// Slice size in bytes.
+    pub slice_size: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads (defaults to the available parallelism).
+    pub threads: usize,
+}
+
+impl Default for RandomSweepConfig {
+    fn default() -> Self {
+        RandomSweepConfig {
+            node_counts: vec![10, 20, 30, 40, 50],
+            densities: vec![0.04, 0.08, 0.12, 0.16, 0.20],
+            configs_per_point: 3,
+            model: CommModel::OnePort,
+            multiport_overlap: None,
+            heuristics: HeuristicKind::ALL.to_vec(),
+            slice_size: 1.0e6,
+            seed: 2004,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// Configuration of a sweep over Tiers-like platforms (paper Table 3).
+#[derive(Clone, Debug)]
+pub struct TiersSweepConfig {
+    /// Platform sizes (paper: 30 and 65 nodes).
+    pub node_counts: Vec<usize>,
+    /// Instances per size (paper: 100).
+    pub configs_per_point: usize,
+    /// Port model under which the heuristics are evaluated.
+    pub model: CommModel,
+    /// Heuristics to evaluate.
+    pub heuristics: Vec<HeuristicKind>,
+    /// Slice size in bytes.
+    pub slice_size: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for TiersSweepConfig {
+    fn default() -> Self {
+        TiersSweepConfig {
+            node_counts: vec![30, 65],
+            configs_per_point: 3,
+            model: CommModel::OnePort,
+            heuristics: HeuristicKind::ALL.to_vec(),
+            slice_size: 1.0e6,
+            seed: 2004,
+            threads: default_threads(),
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs a sweep over random platforms and returns one record per
+/// `(point, instance, heuristic)`.
+pub fn random_sweep(config: &RandomSweepConfig) -> Vec<SweepRecord> {
+    let mut jobs: Vec<(SweepPoint, usize)> = Vec::new();
+    for &nodes in &config.node_counts {
+        for &density in &config.densities {
+            for instance in 0..config.configs_per_point {
+                jobs.push((SweepPoint { nodes, density }, instance));
+            }
+        }
+    }
+    let model = config.model;
+    let heuristics = config.heuristics.clone();
+    let overlap = config.multiport_overlap;
+    let slice = config.slice_size;
+    let seed = config.seed;
+    run_jobs(&jobs, config.threads, move |point, instance| {
+        let instance_seed = seed
+            .wrapping_add((point.nodes as u64) << 32)
+            .wrapping_add((point.density * 1000.0) as u64)
+            .wrapping_mul(1_000_003)
+            .wrapping_add(instance as u64);
+        let mut rng = StdRng::seed_from_u64(instance_seed);
+        let cfg = RandomPlatformConfig::paper(point.nodes, point.density);
+        let mut platform = random_platform(&cfg, &mut rng);
+        if let Some(overlap) = overlap {
+            platform = platform.with_multiport_overheads(overlap, slice);
+        }
+        evaluate_instance(&platform, point, instance, model, slice, &heuristics)
+    })
+}
+
+/// Runs a sweep over Tiers-like platforms.
+pub fn tiers_sweep(config: &TiersSweepConfig) -> Vec<SweepRecord> {
+    let mut jobs: Vec<(SweepPoint, usize)> = Vec::new();
+    for &nodes in &config.node_counts {
+        let density = if nodes <= 40 { 0.10 } else { 0.06 };
+        for instance in 0..config.configs_per_point {
+            jobs.push((SweepPoint { nodes, density }, instance));
+        }
+    }
+    let model = config.model;
+    let heuristics = config.heuristics.clone();
+    let slice = config.slice_size;
+    let seed = config.seed;
+    run_jobs(&jobs, config.threads, move |point, instance| {
+        let instance_seed = seed
+            .wrapping_add((point.nodes as u64) << 24)
+            .wrapping_mul(998_244_353)
+            .wrapping_add(instance as u64);
+        let mut rng = StdRng::seed_from_u64(instance_seed);
+        let cfg = TiersConfig::paper(point.nodes, point.density);
+        let platform = tiers_platform(&cfg, &mut rng);
+        evaluate_instance(&platform, point, instance, model, slice, &heuristics)
+    })
+}
+
+/// Evaluates all heuristics on one platform instance.
+fn evaluate_instance(
+    platform: &Platform,
+    point: SweepPoint,
+    instance: usize,
+    model: CommModel,
+    slice: f64,
+    heuristics: &[HeuristicKind],
+) -> Vec<SweepRecord> {
+    match evaluate_heuristics(platform, NodeId(0), model, slice, heuristics) {
+        Ok((optimal, rows)) => rows
+            .into_iter()
+            .map(|row| SweepRecord {
+                point,
+                instance,
+                heuristic: row.heuristic,
+                throughput: row.throughput,
+                relative: row.relative,
+                optimal: optimal.throughput,
+            })
+            .collect(),
+        Err(error) => {
+            eprintln!(
+                "warning: skipping instance {instance} of point {point:?}: {error}"
+            );
+            Vec::new()
+        }
+    }
+}
+
+/// Distributes `jobs` over `threads` workers; `work` maps one job to its
+/// records. Results are returned in a deterministic order (sorted by job
+/// index) so repeated runs with the same seed produce identical output.
+fn run_jobs<F>(jobs: &[(SweepPoint, usize)], threads: usize, work: F) -> Vec<SweepRecord>
+where
+    F: Fn(SweepPoint, usize) -> Vec<SweepRecord> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<SweepRecord>)>> = Mutex::new(Vec::new());
+    let workers = threads.clamp(1, jobs.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs.len() {
+                    break;
+                }
+                let (point, instance) = jobs[index];
+                let records = work(point, instance);
+                results.lock().expect("poisoned results").push((index, records));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut indexed = results.into_inner().expect("poisoned results");
+    indexed.sort_by_key(|(index, _)| *index);
+    indexed.into_iter().flat_map(|(_, r)| r).collect()
+}
+
+/// Aggregates records: for every `(group, heuristic)` pair, the mean and
+/// standard deviation of the relative performance. `group_of` maps a record
+/// to its group key (e.g. the node count or the density bucket).
+pub fn aggregate_relative<K, F>(
+    records: &[SweepRecord],
+    group_of: F,
+) -> Vec<(K, HeuristicKind, f64, f64)>
+where
+    K: PartialEq + Copy,
+    F: Fn(&SweepRecord) -> K,
+{
+    let mut groups: Vec<K> = Vec::new();
+    for r in records {
+        let k = group_of(r);
+        if !groups.contains(&k) {
+            groups.push(k);
+        }
+    }
+    let mut heuristics: Vec<HeuristicKind> = Vec::new();
+    for r in records {
+        if !heuristics.contains(&r.heuristic) {
+            heuristics.push(r.heuristic);
+        }
+    }
+    let mut out = Vec::new();
+    for &group in &groups {
+        for &h in &heuristics {
+            let samples: Vec<f64> = records
+                .iter()
+                .filter(|r| group_of(r) == group && r.heuristic == h)
+                .map(|r| r.relative)
+                .collect();
+            if samples.is_empty() {
+                continue;
+            }
+            let (mean, dev) = mean_and_deviation(&samples);
+            out.push((group, h, mean, dev));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep_config() -> RandomSweepConfig {
+        RandomSweepConfig {
+            node_counts: vec![8],
+            densities: vec![0.2],
+            configs_per_point: 2,
+            heuristics: vec![HeuristicKind::GrowTree, HeuristicKind::Binomial],
+            threads: 2,
+            ..RandomSweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn random_sweep_produces_one_record_per_job_and_heuristic() {
+        let records = random_sweep(&tiny_sweep_config());
+        // 1 point × 2 instances × 2 heuristics
+        assert_eq!(records.len(), 4);
+        for r in &records {
+            assert!(r.relative > 0.0 && r.relative <= 1.0 + 1e-6);
+            assert!(r.optimal > 0.0);
+            assert_eq!(r.point.nodes, 8);
+        }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let a = random_sweep(&tiny_sweep_config());
+        let b = random_sweep(&tiny_sweep_config());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.heuristic, y.heuristic);
+            assert_eq!(x.instance, y.instance);
+            assert!((x.relative - y.relative).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn aggregation_groups_and_averages() {
+        let records = random_sweep(&tiny_sweep_config());
+        let agg = aggregate_relative(&records, |r| r.point.nodes);
+        // One group (8 nodes) × two heuristics.
+        assert_eq!(agg.len(), 2);
+        for (nodes, _h, mean, dev) in agg {
+            assert_eq!(nodes, 8);
+            assert!(mean > 0.0 && mean <= 1.0 + 1e-6);
+            assert!(dev >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tiers_sweep_runs_on_small_counts() {
+        let cfg = TiersSweepConfig {
+            node_counts: vec![12],
+            configs_per_point: 1,
+            heuristics: vec![HeuristicKind::GrowTree],
+            threads: 1,
+            ..TiersSweepConfig::default()
+        };
+        let records = tiers_sweep(&cfg);
+        assert_eq!(records.len(), 1);
+        assert!(records[0].relative > 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # bcast-lp — a self-contained linear-programming substrate
+//!
+//! The paper computes the optimal broadcast throughput of the
+//! Multiple-Tree-Pipelined (MTP) problem by solving a linear program with
+//! Maple or MuPAD. This crate replaces those external tools with a
+//! from-scratch dense **two-phase primal simplex** solver:
+//!
+//! * [`LpProblem`] — a model builder: named non-negative variables, linear
+//!   constraints (`≤`, `≥`, `=`), a linear objective to maximise or minimise.
+//! * [`solve`] / [`LpProblem::solve`] — two-phase simplex with a Dantzig
+//!   pricing rule and a Bland anti-cycling fallback.
+//! * [`LpSolution`] — objective value and per-variable values.
+//!
+//! The solver is exact enough for the moderately sized LPs of this
+//! reproduction (hundreds to a few thousands of rows); it is not intended to
+//! compete with industrial LP codes.
+//!
+//! ```
+//! use bcast_lp::{LpProblem, Sense};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x, y >= 0
+//! let mut lp = LpProblem::new(Sense::Maximize);
+//! let x = lp.add_var("x", 3.0);
+//! let y = lp.add_var("y", 2.0);
+//! lp.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+//! lp.add_le(&[(x, 1.0), (y, 3.0)], 6.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - 12.0).abs() < 1e-9);
+//! assert!((sol.value(x) - 4.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod simplex;
+
+pub use model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
+pub use simplex::{solve, SimplexOptions, SolveStatus};
+
+#[cfg(test)]
+mod tests_prop;

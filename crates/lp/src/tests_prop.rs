@@ -1,0 +1,129 @@
+//! Property-based tests of the simplex solver (compiled as a child module of
+//! the crate so they can live next to the implementation; see `lib.rs`).
+
+use crate::{LpProblem, Sense, VarId};
+use proptest::prelude::*;
+
+/// A random packing LP: maximise Σ cᵢ xᵢ subject to Ax ≤ b with non-negative
+/// data. Always feasible (x = 0) and always bounded whenever every variable
+/// appears in at least one constraint with a positive coefficient — the
+/// generator enforces that by adding a final x ≤ bound row for every
+/// variable.
+#[derive(Clone, Debug)]
+struct PackingLp {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    bounds: Vec<f64>,
+}
+
+fn packing_strategy() -> impl Strategy<Value = PackingLp> {
+    (2usize..6, 1usize..6).prop_flat_map(|(vars, rows)| {
+        let objective = proptest::collection::vec(0.0f64..5.0, vars);
+        let row = (proptest::collection::vec(0.0f64..3.0, vars), 0.5f64..10.0);
+        let rows = proptest::collection::vec(row, rows);
+        let bounds = proptest::collection::vec(0.5f64..8.0, vars);
+        (objective, rows, bounds).prop_map(|(objective, rows, bounds)| PackingLp {
+            objective,
+            rows,
+            bounds,
+        })
+    })
+}
+
+fn build(lp: &PackingLp) -> (LpProblem, Vec<VarId>) {
+    let mut problem = LpProblem::new(Sense::Maximize);
+    let vars: Vec<VarId> = lp
+        .objective
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| problem.add_var(format!("x{i}"), c))
+        .collect();
+    for (coeffs, rhs) in &lp.rows {
+        let terms: Vec<(VarId, f64)> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        problem.add_le(&terms, *rhs);
+    }
+    for (v, &b) in vars.iter().zip(&lp.bounds) {
+        problem.add_le(&[(*v, 1.0)], b);
+    }
+    (problem, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The solver returns a primal-feasible point whose objective is at
+    /// least as good as a few simple feasible candidates (x = 0 and the
+    /// single-variable corners).
+    #[test]
+    fn packing_lps_solve_to_feasible_and_dominant_points(lp in packing_strategy()) {
+        let (problem, vars) = build(&lp);
+        let solution = problem.solve().expect("packing LPs are feasible and bounded");
+        prop_assert!(problem.max_violation(&solution.values) < 1e-6,
+            "violation {}", problem.max_violation(&solution.values));
+        // Dominates the origin.
+        prop_assert!(solution.objective >= -1e-9);
+        // Dominates every single-variable corner that is feasible.
+        for (i, &v) in vars.iter().enumerate() {
+            // Largest feasible value of variable i alone.
+            let mut limit = lp.bounds[i];
+            for (coeffs, rhs) in &lp.rows {
+                if coeffs[i] > 1e-12 {
+                    limit = limit.min(rhs / coeffs[i]);
+                }
+            }
+            let corner_objective = problem.objective_coefficient(v) * limit;
+            prop_assert!(solution.objective >= corner_objective - 1e-6,
+                "corner {i} with objective {corner_objective} beats the solver");
+        }
+    }
+
+    /// Strong duality on random packing problems: the dual (a covering LP)
+    /// has the same optimal value.
+    #[test]
+    fn strong_duality_holds(lp in packing_strategy()) {
+        let (primal, _) = build(&lp);
+        let psol = primal.solve().expect("primal solvable");
+
+        // Dual: minimise b'y + bounds'z  s.t.  A'y + z ≥ c,  y, z ≥ 0.
+        let mut dual = LpProblem::new(Sense::Minimize);
+        let ys: Vec<VarId> = lp
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, (_, rhs))| dual.add_var(format!("y{i}"), *rhs))
+            .collect();
+        let zs: Vec<VarId> = lp
+            .bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| dual.add_var(format!("z{i}"), b))
+            .collect();
+        for j in 0..lp.objective.len() {
+            let mut terms: Vec<(VarId, f64)> = lp
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(i, (coeffs, _))| (ys[i], coeffs[j]))
+                .collect();
+            terms.push((zs[j], 1.0));
+            dual.add_ge(&terms, lp.objective[j]);
+        }
+        let dsol = dual.solve().expect("dual solvable");
+        prop_assert!((psol.objective - dsol.objective).abs()
+            <= 1e-6 * psol.objective.abs().max(1.0),
+            "primal {} vs dual {}", psol.objective, dsol.objective);
+    }
+
+    /// Scaling every coefficient of the objective scales the optimum.
+    #[test]
+    fn objective_scaling_is_linear(lp in packing_strategy(), scale in 0.1f64..4.0) {
+        let (problem, vars) = build(&lp);
+        let base = problem.solve().unwrap().objective;
+        let mut scaled = problem.clone();
+        for (i, &v) in vars.iter().enumerate() {
+            scaled.set_objective(v, lp.objective[i] * scale);
+        }
+        let scaled_obj = scaled.solve().unwrap().objective;
+        prop_assert!((scaled_obj - scale * base).abs() <= 1e-6 * (scale * base).abs().max(1.0));
+    }
+}

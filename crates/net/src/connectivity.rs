@@ -1,0 +1,274 @@
+//! Connectivity utilities: union–find, weak components, Tarjan SCCs.
+
+use crate::graph::{DiGraph, NodeId};
+use crate::traversal::EdgeMask;
+
+/// Disjoint-set forest (union–find) with path compression and union by rank.
+///
+/// Used by the spanning-tree utilities and as a fast "would removing this
+/// edge disconnect the graph?" pre-check in the pruning heuristics.
+#[derive(Clone, Debug)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of the set containing `x` (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression pass.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` when the sets
+    /// were distinct (a merge actually happened).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Computes weakly-connected components over the live edges.
+///
+/// Returns `(component_of_node, component_count)` where components are
+/// numbered `0..count` in order of their smallest node.
+pub fn weak_components<N, E>(graph: &DiGraph<N, E>, mask: EdgeMask<'_>) -> (Vec<usize>, usize) {
+    let n = graph.node_count();
+    let mut ds = DisjointSets::new(n);
+    for e in graph.edges() {
+        let live = match mask {
+            None => true,
+            Some(m) => m[e.id.index()],
+        };
+        if live {
+            ds.union(e.src.index(), e.dst.index());
+        }
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    for u in 0..n {
+        let root = ds.find(u);
+        if label[root] == usize::MAX {
+            label[root] = count;
+            count += 1;
+        }
+        label[u] = label[root];
+    }
+    (label, count)
+}
+
+/// True when the graph restricted to live edges is weakly connected.
+pub fn is_weakly_connected<N, E>(graph: &DiGraph<N, E>, mask: EdgeMask<'_>) -> bool {
+    if graph.node_count() <= 1 {
+        return true;
+    }
+    weak_components(graph, mask).1 == 1
+}
+
+/// Strongly connected components via Tarjan's algorithm (iterative).
+///
+/// Returns `(scc_of_node, scc_count)`; SCCs are numbered in reverse
+/// topological order of the condensation (standard Tarjan numbering).
+pub fn strongly_connected_components<N, E>(graph: &DiGraph<N, E>) -> (Vec<usize>, usize) {
+    let n = graph.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut scc = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // Iterative Tarjan: frame = (node, out-neighbour cursor).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(u, cursor)) = call_stack.last() {
+            if cursor == 0 {
+                index[u] = next_index;
+                lowlink[u] = next_index;
+                next_index += 1;
+                stack.push(u);
+                on_stack[u] = true;
+            }
+            let neighbors: Vec<usize> = graph
+                .out_neighbors(NodeId(u as u32))
+                .map(|v| v.index())
+                .collect();
+            if cursor < neighbors.len() {
+                call_stack.last_mut().expect("non-empty").1 += 1;
+                let v = neighbors[cursor];
+                if index[v] == usize::MAX {
+                    call_stack.push((v, 0));
+                } else if on_stack[v] {
+                    lowlink[u] = lowlink[u].min(index[v]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[u]);
+                }
+                if lowlink[u] == index[u] {
+                    // u is the root of an SCC: pop the stack down to u.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc[w] = scc_count;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+            }
+        }
+    }
+    (scc, scc_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DiGraph;
+
+    #[test]
+    fn union_find_basics() {
+        let mut ds = DisjointSets::new(5);
+        assert_eq!(ds.component_count(), 5);
+        assert!(ds.union(0, 1));
+        assert!(ds.union(1, 2));
+        assert!(!ds.union(0, 2));
+        assert_eq!(ds.component_count(), 3);
+        assert!(ds.connected(0, 2));
+        assert!(!ds.connected(0, 3));
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn union_find_full_merge() {
+        let mut ds = DisjointSets::new(100);
+        for i in 1..100 {
+            ds.union(0, i);
+        }
+        assert_eq!(ds.component_count(), 1);
+        for i in 0..100 {
+            assert!(ds.connected(i, 50));
+        }
+    }
+
+    #[test]
+    fn weak_components_counts() {
+        // Two components: {0,1,2} and {3,4}.
+        let mut g: DiGraph<(), ()> = DiGraph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(2), NodeId(1), ());
+        g.add_edge(NodeId(3), NodeId(4), ());
+        let (label, count) = weak_components(&g, None);
+        assert_eq!(count, 2);
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[1], label[2]);
+        assert_eq!(label[3], label[4]);
+        assert_ne!(label[0], label[3]);
+        assert!(!is_weakly_connected(&g, None));
+    }
+
+    #[test]
+    fn weak_components_respect_mask() {
+        let mut g: DiGraph<(), ()> = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        assert!(is_weakly_connected(&g, None));
+        let mask = vec![true, false];
+        assert!(!is_weakly_connected(&g, Some(&mask)));
+    }
+
+    #[test]
+    fn singleton_and_empty_graphs_are_connected() {
+        let g0: DiGraph<(), ()> = DiGraph::new();
+        assert!(is_weakly_connected(&g0, None));
+        let g1: DiGraph<(), ()> = DiGraph::with_nodes(1);
+        assert!(is_weakly_connected(&g1, None));
+    }
+
+    #[test]
+    fn tarjan_finds_cycle_and_singletons() {
+        // 0 -> 1 -> 2 -> 0 (one SCC), 3 -> 0 (singleton SCC), 4 isolated.
+        let mut g: DiGraph<(), ()> = DiGraph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        g.add_edge(NodeId(2), NodeId(0), ());
+        g.add_edge(NodeId(3), NodeId(0), ());
+        let (scc, count) = strongly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(scc[0], scc[1]);
+        assert_eq!(scc[1], scc[2]);
+        assert_ne!(scc[3], scc[0]);
+        assert_ne!(scc[4], scc[0]);
+        assert_ne!(scc[3], scc[4]);
+    }
+
+    #[test]
+    fn tarjan_on_dag_gives_singletons() {
+        let mut g: DiGraph<(), ()> = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        g.add_edge(NodeId(0), NodeId(3), ());
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bcast-net — directed-graph substrate
+//!
+//! A small, self-contained graph library tailored to the needs of the
+//! broadcast-trees reproduction:
+//!
+//! * [`DiGraph`] — a directed multigraph with typed node/edge indices,
+//!   node and edge payloads, and O(1) access to in/out adjacency.
+//! * [`traversal`] — breadth-first and depth-first traversals, reachability.
+//! * [`connectivity`] — union–find ([`connectivity::DisjointSets`]),
+//!   weak connectivity, strongly connected components (Tarjan).
+//! * [`shortest_path`] — Dijkstra and unweighted BFS shortest paths.
+//! * [`maxflow`] — Dinic maximum flow and minimum s–t cuts on `f64`
+//!   capacities (the separation oracle of the cut-generation optimal
+//!   broadcast-throughput solver).
+//! * [`spanning`] — spanning-arborescence utilities: validation, parent
+//!   maps, conversion between edge lists and rooted trees.
+//!
+//! The crate has no dependency other than `serde` (for persisting graphs)
+//! and is entirely deterministic: iteration orders are index orders.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod graph;
+pub mod maxflow;
+pub mod shortest_path;
+pub mod spanning;
+pub mod traversal;
+
+pub use graph::{DiGraph, EdgeId, EdgeRef, NodeId};
+pub use maxflow::{max_flow, min_cut, FlowNetwork, MaxFlowResult};
+pub use spanning::{Arborescence, SpanningError};

@@ -1,0 +1,445 @@
+//! Maximum flow and minimum s–t cuts on `f64` capacities (Dinic's algorithm).
+//!
+//! The cut-generation solver for the optimal broadcast throughput (paper
+//! Section 4) needs, for every destination `w`, the maximum flow that the
+//! current per-edge capacity allocation `n_{u,v}` can carry from the source
+//! to `w`, together with a minimum cut when that flow is insufficient. This
+//! module provides a standalone [`FlowNetwork`] (residual-graph structure
+//! with paired arcs) plus convenience wrappers [`max_flow`] and [`min_cut`]
+//! operating directly on a [`DiGraph`].
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+use std::collections::VecDeque;
+
+/// Relative tolerance used to decide whether residual capacity is exhausted.
+const FLOW_EPS: f64 = 1e-12;
+
+/// Internal arc of the residual network.
+#[derive(Clone, Debug)]
+struct Arc {
+    /// Head of the arc.
+    to: u32,
+    /// Remaining (residual) capacity.
+    residual: f64,
+    /// Original capacity (0 for reverse arcs).
+    capacity: f64,
+    /// Index of the paired reverse arc.
+    rev: u32,
+    /// The platform edge this arc was created from, if any.
+    origin: Option<EdgeId>,
+}
+
+/// A flow network over `n` nodes supporting repeated max-flow computations.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    /// `arcs[u]` lists the residual arcs leaving node `u`.
+    arcs: Vec<Vec<Arc>>,
+    /// BFS level of each node (Dinic).
+    level: Vec<i32>,
+    /// Per-node arc cursor (Dinic current-arc optimisation).
+    cursor: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            arcs: vec![Vec::new(); n],
+            level: vec![-1; n],
+            cursor: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Adds a directed edge `u -> v` with the given capacity.
+    ///
+    /// Negative capacities are clamped to zero. `origin` optionally records
+    /// the platform edge this capacity came from so that cuts can be reported
+    /// in terms of platform edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, capacity: f64, origin: Option<EdgeId>) {
+        let capacity = capacity.max(0.0);
+        let (ui, vi) = (u.index(), v.index());
+        assert!(ui < self.arcs.len() && vi < self.arcs.len(), "node out of range");
+        let fwd_rev = self.arcs[vi].len() as u32;
+        let bwd_rev = self.arcs[ui].len() as u32;
+        self.arcs[ui].push(Arc {
+            to: vi as u32,
+            residual: capacity,
+            capacity,
+            rev: fwd_rev,
+            origin,
+        });
+        self.arcs[vi].push(Arc {
+            to: ui as u32,
+            residual: 0.0,
+            capacity: 0.0,
+            rev: bwd_rev,
+            origin: None,
+        });
+    }
+
+    /// Resets every arc to its original capacity, allowing the network to be
+    /// re-used for another source/sink pair.
+    pub fn reset(&mut self) {
+        for arcs in &mut self.arcs {
+            for arc in arcs {
+                arc.residual = arc.capacity;
+            }
+        }
+    }
+
+    /// Builds the Dinic level graph. Returns `true` when the sink is reachable.
+    fn build_levels(&mut self, source: usize, sink: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        self.level[source] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for arc in &self.arcs[u] {
+                if arc.residual > FLOW_EPS && self.level[arc.to as usize] < 0 {
+                    self.level[arc.to as usize] = self.level[u] + 1;
+                    queue.push_back(arc.to as usize);
+                }
+            }
+        }
+        self.level[sink] >= 0
+    }
+
+    /// Sends blocking flow along the level graph (iterative DFS).
+    fn augment(&mut self, source: usize, sink: usize) -> f64 {
+        let mut total = 0.0;
+        loop {
+            // Find one augmenting path in the level graph.
+            let mut path: Vec<(usize, usize)> = Vec::new(); // (node, arc index)
+            let mut u = source;
+            let found = loop {
+                if u == sink {
+                    break true;
+                }
+                let mut advanced = false;
+                while self.cursor[u] < self.arcs[u].len() {
+                    let ai = self.cursor[u];
+                    let arc = &self.arcs[u][ai];
+                    if arc.residual > FLOW_EPS
+                        && self.level[arc.to as usize] == self.level[u] + 1
+                    {
+                        path.push((u, ai));
+                        u = arc.to as usize;
+                        advanced = true;
+                        break;
+                    }
+                    self.cursor[u] += 1;
+                }
+                if !advanced {
+                    if let Some(&(prev, _)) = path.last() {
+                        // Dead end: retreat and advance the parent's cursor.
+                        self.level[u] = -1;
+                        path.pop();
+                        self.cursor[prev] += 1;
+                        u = prev;
+                    } else {
+                        break false;
+                    }
+                }
+            };
+            if !found {
+                return total;
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = f64::INFINITY;
+            for &(u, ai) in &path {
+                bottleneck = bottleneck.min(self.arcs[u][ai].residual);
+            }
+            // Apply.
+            for &(u, ai) in &path {
+                let to = self.arcs[u][ai].to as usize;
+                let rev = self.arcs[u][ai].rev as usize;
+                self.arcs[u][ai].residual -= bottleneck;
+                self.arcs[to][rev].residual += bottleneck;
+            }
+            total += bottleneck;
+        }
+    }
+
+    /// Computes the maximum flow from `source` to `sink` on the current
+    /// residual capacities (so call [`FlowNetwork::reset`] first when re-using
+    /// the network).
+    pub fn max_flow(&mut self, source: NodeId, sink: NodeId) -> f64 {
+        let (s, t) = (source.index(), sink.index());
+        assert!(s < self.arcs.len() && t < self.arcs.len(), "node out of range");
+        if s == t {
+            return f64::INFINITY;
+        }
+        let mut flow = 0.0;
+        while self.build_levels(s, t) {
+            self.cursor.iter_mut().for_each(|c| *c = 0);
+            let pushed = self.augment(s, t);
+            if pushed <= FLOW_EPS {
+                break;
+            }
+            flow += pushed;
+        }
+        flow
+    }
+
+    /// After a max-flow computation, returns the source side of a minimum cut
+    /// (the set of nodes reachable from `source` in the residual graph).
+    pub fn min_cut_source_side(&self, source: NodeId) -> Vec<bool> {
+        let n = self.arcs.len();
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[source.index()] = true;
+        queue.push_back(source.index());
+        while let Some(u) = queue.pop_front() {
+            for arc in &self.arcs[u] {
+                if arc.residual > FLOW_EPS && !visited[arc.to as usize] {
+                    visited[arc.to as usize] = true;
+                    queue.push_back(arc.to as usize);
+                }
+            }
+        }
+        visited
+    }
+
+    /// After a max-flow computation, lists the *origin* platform edges that
+    /// cross the minimum cut from the source side to the sink side.
+    pub fn min_cut_edges(&self, source: NodeId) -> Vec<EdgeId> {
+        let side = self.min_cut_source_side(source);
+        let mut cut = Vec::new();
+        for (u, arcs) in self.arcs.iter().enumerate() {
+            if !side[u] {
+                continue;
+            }
+            for arc in arcs {
+                if arc.capacity > 0.0 && !side[arc.to as usize] {
+                    if let Some(origin) = arc.origin {
+                        cut.push(origin);
+                    }
+                }
+            }
+        }
+        cut.sort_unstable();
+        cut.dedup();
+        cut
+    }
+
+    /// Flow currently carried by the arc created from platform edge `origin`
+    /// (sum over all arcs sharing that origin).
+    pub fn flow_on_origin(&self, origin: EdgeId) -> f64 {
+        let mut f = 0.0;
+        for arcs in &self.arcs {
+            for arc in arcs {
+                if arc.origin == Some(origin) {
+                    f += arc.capacity - arc.residual;
+                }
+            }
+        }
+        f
+    }
+}
+
+/// Result of [`max_flow`]: the flow value plus per-platform-edge flows.
+#[derive(Clone, Debug)]
+pub struct MaxFlowResult {
+    /// Value of the maximum flow.
+    pub value: f64,
+    /// Flow assigned to each platform edge (indexed by [`EdgeId`]).
+    pub edge_flow: Vec<f64>,
+    /// Source-side membership of a minimum cut.
+    pub source_side: Vec<bool>,
+    /// Platform edges crossing the minimum cut.
+    pub cut_edges: Vec<EdgeId>,
+}
+
+/// Computes the maximum `source -> sink` flow of `graph` where each edge has
+/// capacity `capacity(edge)`.
+pub fn max_flow<N, E, C>(
+    graph: &DiGraph<N, E>,
+    source: NodeId,
+    sink: NodeId,
+    mut capacity: C,
+) -> MaxFlowResult
+where
+    C: FnMut(EdgeId, &E) -> f64,
+{
+    let mut net = FlowNetwork::new(graph.node_count());
+    for e in graph.edges() {
+        net.add_edge(e.src, e.dst, capacity(e.id, e.payload), Some(e.id));
+    }
+    let value = net.max_flow(source, sink);
+    let edge_flow = graph
+        .edge_ids()
+        .map(|e| net.flow_on_origin(e))
+        .collect();
+    let source_side = net.min_cut_source_side(source);
+    let cut_edges = net.min_cut_edges(source);
+    MaxFlowResult {
+        value,
+        edge_flow,
+        source_side,
+        cut_edges,
+    }
+}
+
+/// Computes a minimum `source -> sink` cut and its capacity.
+///
+/// Returns `(cut_capacity, cut_edges)`. By max-flow/min-cut duality the
+/// capacity equals the maximum flow value.
+pub fn min_cut<N, E, C>(
+    graph: &DiGraph<N, E>,
+    source: NodeId,
+    sink: NodeId,
+    capacity: C,
+) -> (f64, Vec<EdgeId>)
+where
+    C: FnMut(EdgeId, &E) -> f64,
+{
+    let result = max_flow(graph, source, sink, capacity);
+    (result.value, result.cut_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic max-flow example with value 19 when capacities are
+    /// 0->1:10, 0->2:10, 1->2:2, 1->3:4, 1->4:8, 2->4:9, 4->3:6, 3->5:10, 4->5:10
+    fn classic() -> (DiGraph<(), f64>, NodeId, NodeId) {
+        let mut g = DiGraph::with_nodes(6);
+        let edges = [
+            (0, 1, 10.0),
+            (0, 2, 10.0),
+            (1, 2, 2.0),
+            (1, 3, 4.0),
+            (1, 4, 8.0),
+            (2, 4, 9.0),
+            (4, 3, 6.0),
+            (3, 5, 10.0),
+            (4, 5, 10.0),
+        ];
+        for (u, v, c) in edges {
+            g.add_edge(NodeId(u), NodeId(v), c);
+        }
+        (g, NodeId(0), NodeId(5))
+    }
+
+    #[test]
+    fn classic_network_value() {
+        let (g, s, t) = classic();
+        let r = max_flow(&g, s, t, |_, &c| c);
+        assert!((r.value - 19.0).abs() < 1e-9, "value = {}", r.value);
+    }
+
+    #[test]
+    fn min_cut_capacity_equals_flow() {
+        let (g, s, t) = classic();
+        let r = max_flow(&g, s, t, |_, &c| c);
+        let cut_capacity: f64 = r.cut_edges.iter().map(|&e| *g.edge(e)).sum();
+        assert!((cut_capacity - r.value).abs() < 1e-9);
+        // Source is on the source side, sink is not.
+        assert!(r.source_side[s.index()]);
+        assert!(!r.source_side[t.index()]);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let (g, s, t) = classic();
+        let r = max_flow(&g, s, t, |_, &c| c);
+        for u in g.node_ids() {
+            if u == s || u == t {
+                continue;
+            }
+            let inflow: f64 = g.in_edges(u).map(|e| r.edge_flow[e.id.index()]).sum();
+            let outflow: f64 = g.out_edges(u).map(|e| r.edge_flow[e.id.index()]).sum();
+            assert!(
+                (inflow - outflow).abs() < 1e-9,
+                "conservation violated at {u:?}: in {inflow} out {outflow}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacities_are_respected() {
+        let (g, s, t) = classic();
+        let r = max_flow(&g, s, t, |_, &c| c);
+        for e in g.edges() {
+            let f = r.edge_flow[e.id.index()];
+            assert!(f >= -1e-9);
+            assert!(f <= *e.payload + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_flow() {
+        let mut g: DiGraph<(), f64> = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 5.0);
+        let r = max_flow(&g, NodeId(0), NodeId(2), |_, &c| c);
+        assert_eq!(r.value, 0.0);
+        assert!(r.cut_edges.is_empty());
+    }
+
+    #[test]
+    fn single_bottleneck_path() {
+        let mut g: DiGraph<(), f64> = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 4.0);
+        let bottleneck = g.add_edge(NodeId(1), NodeId(2), 1.5);
+        g.add_edge(NodeId(2), NodeId(3), 4.0);
+        let r = max_flow(&g, NodeId(0), NodeId(3), |_, &c| c);
+        assert!((r.value - 1.5).abs() < 1e-12);
+        assert_eq!(r.cut_edges, vec![bottleneck]);
+    }
+
+    #[test]
+    fn parallel_edges_add_capacity() {
+        let mut g: DiGraph<(), f64> = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(1), 2.5);
+        let r = max_flow(&g, NodeId(0), NodeId(1), |_, &c| c);
+        assert!((r.value - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_negative_capacities_are_ignored() {
+        let mut g: DiGraph<(), f64> = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 0.0);
+        g.add_edge(NodeId(1), NodeId(2), -3.0);
+        let r = max_flow(&g, NodeId(0), NodeId(2), |_, &c| c);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn source_equals_sink_is_infinite() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(NodeId(0), NodeId(1), 1.0, None);
+        assert!(net.max_flow(NodeId(0), NodeId(0)).is_infinite());
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(NodeId(0), NodeId(1), 2.0, None);
+        net.add_edge(NodeId(1), NodeId(2), 2.0, None);
+        let first = net.max_flow(NodeId(0), NodeId(2));
+        assert!((first - 2.0).abs() < 1e-12);
+        // Without reset the residuals are exhausted.
+        assert!(net.max_flow(NodeId(0), NodeId(2)) < 1e-12);
+        net.reset();
+        let again = net.max_flow(NodeId(0), NodeId(2));
+        assert!((again - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut g: DiGraph<(), f64> = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 0.3);
+        g.add_edge(NodeId(0), NodeId(2), 0.7);
+        g.add_edge(NodeId(1), NodeId(3), 0.4);
+        g.add_edge(NodeId(2), NodeId(3), 0.5);
+        let r = max_flow(&g, NodeId(0), NodeId(3), |_, &c| c);
+        assert!((r.value - 0.8).abs() < 1e-9, "value = {}", r.value);
+    }
+}

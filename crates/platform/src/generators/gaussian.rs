@@ -1,0 +1,93 @@
+//! Box–Muller Gaussian sampling on top of `rand`'s uniform primitives.
+//!
+//! The approved dependency set includes `rand` but not `rand_distr`, so the
+//! normal deviates needed by paper Table 2 (`bandwidth ~ N(100 MB/s, 20 MB/s)`)
+//! are generated here with the polar Box–Muller transform.
+
+use rand::Rng;
+
+/// Draws one sample from the normal distribution `N(mean, std_dev)`.
+///
+/// # Panics
+/// Panics if `std_dev` is negative or either parameter is not finite.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    assert!(mean.is_finite() && std_dev.is_finite());
+    if std_dev == 0.0 {
+        return mean;
+    }
+    // Polar Box–Muller: rejection-sample a point in the unit disc.
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let factor = (-2.0 * s.ln() / s).sqrt();
+            return mean + std_dev * u * factor;
+        }
+    }
+}
+
+/// Draws a normal sample truncated below at `floor` (re-drawing until the
+/// sample is at least `floor`). Used for bandwidths, which must stay positive.
+pub fn sample_normal_at_least<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    floor: f64,
+) -> f64 {
+    assert!(floor <= mean, "floor must not exceed the mean");
+    loop {
+        let x = sample_normal(rng, mean, std_dev);
+        if x >= floor {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_statistics_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 100.0, 20.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean = {mean}");
+        assert!((var.sqrt() - 20.0).abs() < 1.0, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_deviation_returns_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_normal(&mut rng, 42.0, 0.0), 42.0);
+    }
+
+    #[test]
+    fn truncated_sampling_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = sample_normal_at_least(&mut rng, 100.0, 50.0, 10.0);
+            assert!(x >= 10.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_deviation_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        sample_normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must not exceed the mean")]
+    fn floor_above_mean_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        sample_normal_at_least(&mut rng, 1.0, 1.0, 2.0);
+    }
+}

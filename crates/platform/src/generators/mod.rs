@@ -1,0 +1,17 @@
+//! Platform generators used by the evaluation section of the paper.
+//!
+//! * [`random`] — Erdős–Rényi-style random platforms following the
+//!   parameters of paper Table 2 (node count, edge density, Gaussian link
+//!   bandwidths).
+//! * [`tiers`] — a re-implementation of a *Tiers*-style hierarchical
+//!   Internet topology (WAN / MAN / LAN), standing in for the original
+//!   Tiers generator of Calvert, Doar and Zegura used by the paper.
+//! * [`gaussian`] — a small Box–Muller normal sampler so the crate only
+//!   depends on `rand`'s uniform primitives.
+
+pub mod gaussian;
+pub mod random;
+pub mod tiers;
+
+pub use random::{random_platform, RandomPlatformConfig};
+pub use tiers::{tiers_platform, TiersConfig};

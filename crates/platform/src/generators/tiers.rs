@@ -1,0 +1,326 @@
+//! Tiers-style hierarchical topology generator.
+//!
+//! The paper's "realistic" platforms are produced by **Tiers** (Calvert,
+//! Doar, Zegura, 1997), a three-level Internet topology generator: a WAN
+//! core, MAN rings attached to WAN nodes, and LAN stars attached to MAN
+//! nodes. The original Tiers is a C program we cannot ship, so this module
+//! re-implements the same structural idea:
+//!
+//! 1. a small WAN core connected by a random tree plus redundant links,
+//! 2. MAN clusters, each attached to one WAN node and internally chained,
+//! 3. LAN leaves attached to MAN nodes in a star.
+//!
+//! Extra intra-level links are added until the requested edge density is
+//! reached (the paper reports densities between 0.05 and 0.15 for its 30- and
+//! 65-node Tiers platforms). Link bandwidths follow the same Gaussian
+//! distribution as the random platforms, as in the paper; an optional
+//! `hierarchical_bandwidths` mode makes WAN links slower and LAN links faster
+//! for sensitivity experiments.
+
+use crate::cost::LinkCost;
+use crate::generators::gaussian::sample_normal_at_least;
+use crate::platform::Platform;
+use bcast_net::NodeId;
+use rand::Rng;
+
+/// Hierarchy level of a processor in the generated topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Level {
+    Wan,
+    Man,
+    Lan,
+}
+
+/// Parameters for [`tiers_platform`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TiersConfig {
+    /// Total number of processors (paper: 30 and 65).
+    pub total_nodes: usize,
+    /// Fraction of nodes placed in the WAN core (default 0.15).
+    pub wan_fraction: f64,
+    /// Fraction of nodes placed at the MAN level (default 0.35); the rest are
+    /// LAN nodes.
+    pub man_fraction: f64,
+    /// Target edge density; extra random intra-level links are added until the
+    /// platform reaches it (paper: 0.05–0.15).
+    pub target_density: f64,
+    /// Mean link bandwidth in bytes/second.
+    pub bandwidth_mean: f64,
+    /// Standard deviation of the link bandwidth.
+    pub bandwidth_dev: f64,
+    /// Lower bound on sampled bandwidths.
+    pub bandwidth_floor: f64,
+    /// When true, scale bandwidths by hierarchy level (WAN ×0.5, MAN ×1,
+    /// LAN ×2) instead of using one distribution for every link.
+    pub hierarchical_bandwidths: bool,
+}
+
+impl TiersConfig {
+    /// The paper's configuration for a Tiers platform of `total_nodes`
+    /// processors with the given target density.
+    pub fn paper(total_nodes: usize, target_density: f64) -> Self {
+        TiersConfig {
+            total_nodes,
+            wan_fraction: 0.15,
+            man_fraction: 0.35,
+            target_density,
+            bandwidth_mean: 100.0e6,
+            bandwidth_dev: 20.0e6,
+            bandwidth_floor: 10.0e6,
+            hierarchical_bandwidths: false,
+        }
+    }
+
+    /// The 30-node configuration used in paper Table 3.
+    pub fn paper_30() -> Self {
+        Self::paper(30, 0.10)
+    }
+
+    /// The 65-node configuration used in paper Table 3.
+    pub fn paper_65() -> Self {
+        Self::paper(65, 0.06)
+    }
+}
+
+impl Default for TiersConfig {
+    fn default() -> Self {
+        TiersConfig::paper_30()
+    }
+}
+
+/// Generates a Tiers-style hierarchical platform.
+pub fn tiers_platform<R: Rng + ?Sized>(config: &TiersConfig, rng: &mut R) -> Platform {
+    assert!(config.total_nodes >= 3, "a Tiers platform needs at least 3 nodes");
+    assert!(
+        config.wan_fraction > 0.0
+            && config.man_fraction >= 0.0
+            && config.wan_fraction + config.man_fraction <= 1.0,
+        "invalid level fractions"
+    );
+    let total = config.total_nodes;
+    let wan_count = ((total as f64 * config.wan_fraction).round() as usize).clamp(2, total);
+    let man_count =
+        ((total as f64 * config.man_fraction).round() as usize).min(total - wan_count);
+    let lan_count = total - wan_count - man_count;
+
+    let mut builder = Platform::builder();
+    let mut levels = Vec::with_capacity(total);
+    let mut wan_nodes = Vec::with_capacity(wan_count);
+    let mut man_nodes = Vec::with_capacity(man_count);
+    let mut lan_nodes = Vec::with_capacity(lan_count);
+    for i in 0..wan_count {
+        wan_nodes.push(builder.add_processor(format!("wan{i}")));
+        levels.push(Level::Wan);
+    }
+    for i in 0..man_count {
+        man_nodes.push(builder.add_processor(format!("man{i}")));
+        levels.push(Level::Man);
+    }
+    for i in 0..lan_count {
+        lan_nodes.push(builder.add_processor(format!("lan{i}")));
+        levels.push(Level::Lan);
+    }
+
+    let sample_cost = |rng: &mut R, level: Level| {
+        let scale = if config.hierarchical_bandwidths {
+            match level {
+                Level::Wan => 0.5,
+                Level::Man => 1.0,
+                Level::Lan => 2.0,
+            }
+        } else {
+            1.0
+        };
+        let bandwidth = scale
+            * sample_normal_at_least(
+                rng,
+                config.bandwidth_mean,
+                config.bandwidth_dev,
+                config.bandwidth_floor,
+            );
+        LinkCost::one_port(0.0, 1.0 / bandwidth)
+    };
+
+    // 1. WAN core: random tree over the WAN nodes.
+    for i in 1..wan_count {
+        let j = rng.gen_range(0..i);
+        let cost = sample_cost(rng, Level::Wan);
+        builder.add_bidirectional_link(wan_nodes[i], wan_nodes[j], cost);
+    }
+    // One redundant WAN link when possible (Tiers uses a small amount of core
+    // redundancy).
+    if wan_count >= 3 {
+        let a = rng.gen_range(0..wan_count);
+        let mut b = rng.gen_range(0..wan_count);
+        while b == a {
+            b = rng.gen_range(0..wan_count);
+        }
+        if !builder.has_link(wan_nodes[a], wan_nodes[b]) {
+            let cost = sample_cost(rng, Level::Wan);
+            builder.add_bidirectional_link(wan_nodes[a], wan_nodes[b], cost);
+        }
+    }
+
+    // 2. MAN level: each MAN node attaches to a WAN node; MAN nodes hanging
+    //    off the same WAN node are chained to form a small metropolitan ring.
+    let mut man_attach: Vec<Vec<NodeId>> = vec![Vec::new(); wan_count];
+    for &m in &man_nodes {
+        let w = rng.gen_range(0..wan_count);
+        let cost = sample_cost(rng, Level::Man);
+        builder.add_bidirectional_link(m, wan_nodes[w], cost);
+        if let Some(&prev) = man_attach[w].last() {
+            let chain_cost = sample_cost(rng, Level::Man);
+            builder.add_bidirectional_link(m, prev, chain_cost);
+        }
+        man_attach[w].push(m);
+    }
+
+    // 3. LAN level: each LAN node attaches to a MAN node (or to a WAN node
+    //    when there are no MAN nodes).
+    let attach_pool: Vec<NodeId> = if man_nodes.is_empty() {
+        wan_nodes.clone()
+    } else {
+        man_nodes.clone()
+    };
+    for &l in &lan_nodes {
+        let target = attach_pool[rng.gen_range(0..attach_pool.len())];
+        let cost = sample_cost(rng, Level::Lan);
+        builder.add_bidirectional_link(l, target, cost);
+    }
+
+    // 4. Extra links until the target density is reached. Extra links stay
+    //    within a level or between adjacent levels, mimicking Tiers'
+    //    redundancy parameters.
+    let all_nodes: Vec<NodeId> = wan_nodes
+        .iter()
+        .chain(man_nodes.iter())
+        .chain(lan_nodes.iter())
+        .copied()
+        .collect();
+    let max_pairs = total * (total - 1);
+    let target_edges = (config.target_density * max_pairs as f64).round() as usize;
+    let mut guard = 0;
+    while builder.edge_count() < target_edges && guard < 50 * total {
+        guard += 1;
+        let a = all_nodes[rng.gen_range(0..all_nodes.len())];
+        let b = all_nodes[rng.gen_range(0..all_nodes.len())];
+        if a == b || builder.has_link(a, b) {
+            continue;
+        }
+        let (la, lb) = (levels[a.index()], levels[b.index()]);
+        let adjacent = matches!(
+            (la, lb),
+            (Level::Wan, Level::Wan)
+                | (Level::Man, Level::Man)
+                | (Level::Lan, Level::Lan)
+                | (Level::Wan, Level::Man)
+                | (Level::Man, Level::Wan)
+                | (Level::Man, Level::Lan)
+                | (Level::Lan, Level::Man)
+        );
+        if !adjacent {
+            continue;
+        }
+        let level = if la == Level::Wan && lb == Level::Wan {
+            Level::Wan
+        } else if la == Level::Lan || lb == Level::Lan {
+            Level::Lan
+        } else {
+            Level::Man
+        };
+        let cost = sample_cost(rng, level);
+        builder.add_bidirectional_link(a, b, cost);
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_30_platform_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = tiers_platform(&TiersConfig::paper_30(), &mut rng);
+        assert_eq!(p.node_count(), 30);
+        assert!(p.is_broadcast_feasible(NodeId(0)));
+        let d = p.density();
+        assert!(d >= 0.05 && d <= 0.16, "density {d} outside the paper band");
+    }
+
+    #[test]
+    fn paper_65_platform_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = tiers_platform(&TiersConfig::paper_65(), &mut rng);
+        assert_eq!(p.node_count(), 65);
+        assert!(p.is_broadcast_feasible(NodeId(0)));
+        let d = p.density();
+        assert!(d >= 0.04 && d <= 0.16, "density {d} outside the paper band");
+    }
+
+    #[test]
+    fn broadcast_feasible_from_every_node() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = tiers_platform(&TiersConfig::paper(40, 0.08), &mut rng);
+        for source in p.nodes() {
+            assert!(p.is_broadcast_feasible(source));
+        }
+    }
+
+    #[test]
+    fn hierarchical_bandwidths_slow_down_the_core() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = TiersConfig {
+            hierarchical_bandwidths: true,
+            ..TiersConfig::paper_30()
+        };
+        let p = tiers_platform(&cfg, &mut rng);
+        // WAN-to-WAN links should on average be slower than LAN attachments.
+        let mut wan = Vec::new();
+        let mut lan = Vec::new();
+        for e in p.graph().edges() {
+            let (s, d) = (p.processor(e.src).name.clone(), p.processor(e.dst).name.clone());
+            if s.starts_with("wan") && d.starts_with("wan") {
+                wan.push(e.payload.bandwidth());
+            }
+            if s.starts_with("lan") || d.starts_with("lan") {
+                lan.push(e.payload.bandwidth());
+            }
+        }
+        assert!(!wan.is_empty() && !lan.is_empty());
+        let wan_mean = wan.iter().sum::<f64>() / wan.len() as f64;
+        let lan_mean = lan.iter().sum::<f64>() / lan.len() as f64;
+        assert!(wan_mean < lan_mean);
+    }
+
+    #[test]
+    fn names_reflect_levels() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = tiers_platform(&TiersConfig::paper_30(), &mut rng);
+        let names: Vec<&str> = p.nodes().map(|n| p.processor(n).name.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("wan")));
+        assert!(names.iter().any(|n| n.starts_with("man")));
+        assert!(names.iter().any(|n| n.starts_with("lan")));
+    }
+
+    #[test]
+    fn determinism_for_fixed_seed() {
+        let cfg = TiersConfig::paper_65();
+        let a = tiers_platform(&cfg, &mut StdRng::seed_from_u64(123));
+        let b = tiers_platform(&cfg, &mut StdRng::seed_from_u64(123));
+        assert_eq!(a.edge_count(), b.edge_count());
+        for e in a.edges() {
+            assert_eq!(a.graph().endpoints(e), b.graph().endpoints(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn tiny_platform_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        tiers_platform(&TiersConfig::paper(2, 0.1), &mut rng);
+    }
+}

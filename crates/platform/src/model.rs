@@ -1,0 +1,162 @@
+//! Communication models and message/slice specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Port model restricting the concurrency of a processor's communications
+/// (paper Sections 2.2 and 2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommModel {
+    /// Bidirectional one-port: at any instant a processor sends to at most
+    /// one neighbour and receives from at most one neighbour; sender and
+    /// receiver are blocked for the full link occupation.
+    OnePort,
+    /// Unidirectional one-port: a processor is involved in at most one
+    /// communication at a time, send *or* receive. (Provided as an extension;
+    /// the paper's experiments use the bidirectional variant.)
+    OnePortUnidirectional,
+    /// Multi-port (Bar-Noy et al.): link occupations of distinct outgoing
+    /// messages may overlap, but the sender overheads `send_u` serialise, and
+    /// a receiver is engaged for the full link occupation of each incoming
+    /// message.
+    MultiPort,
+}
+
+impl CommModel {
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommModel::OnePort => "one-port (bidirectional)",
+            CommModel::OnePortUnidirectional => "one-port (unidirectional)",
+            CommModel::MultiPort => "multi-port",
+        }
+    }
+}
+
+/// Description of the broadcast payload: total size and slice size.
+///
+/// The application-level message of `total_size` bytes is cut into
+/// `slice_count()` slices of `slice_size` bytes (the last slice may be
+/// shorter, which steady-state analysis ignores but the simulator honours).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MessageSpec {
+    /// Total number of bytes to broadcast.
+    pub total_size: f64,
+    /// Size of one pipelined slice, in bytes.
+    pub slice_size: f64,
+}
+
+impl MessageSpec {
+    /// Creates a message specification.
+    ///
+    /// # Panics
+    /// Panics if either size is not strictly positive or not finite.
+    pub fn new(total_size: f64, slice_size: f64) -> Self {
+        assert!(
+            total_size > 0.0 && total_size.is_finite(),
+            "total size must be positive and finite"
+        );
+        assert!(
+            slice_size > 0.0 && slice_size.is_finite(),
+            "slice size must be positive and finite"
+        );
+        MessageSpec {
+            total_size,
+            slice_size: slice_size.min(total_size),
+        }
+    }
+
+    /// A single-slice message (the STA regime: the whole message is atomic).
+    pub fn atomic(total_size: f64) -> Self {
+        Self::new(total_size, total_size)
+    }
+
+    /// Number of slices (the last one possibly partial).
+    pub fn slice_count(&self) -> usize {
+        (self.total_size / self.slice_size).ceil() as usize
+    }
+
+    /// Size of slice `index` (0-based): `slice_size` for all but possibly the
+    /// last slice.
+    pub fn slice_len(&self, index: usize) -> f64 {
+        let n = self.slice_count();
+        assert!(index < n, "slice index out of range");
+        if index + 1 < n {
+            self.slice_size
+        } else {
+            self.total_size - self.slice_size * (n as f64 - 1.0)
+        }
+    }
+}
+
+impl Default for MessageSpec {
+    /// 100 MB message cut into 1 MB slices — the "large message" regime the
+    /// paper targets (a few megabytes and beyond).
+    fn default() -> Self {
+        MessageSpec::new(100.0e6, 1.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            CommModel::OnePort.label(),
+            CommModel::OnePortUnidirectional.label(),
+            CommModel::MultiPort.label(),
+        ];
+        assert_eq!(
+            labels.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn slice_count_rounds_up() {
+        let m = MessageSpec::new(10.0, 3.0);
+        assert_eq!(m.slice_count(), 4);
+        assert_eq!(m.slice_len(0), 3.0);
+        assert_eq!(m.slice_len(3), 1.0);
+    }
+
+    #[test]
+    fn exact_division_has_no_partial_slice() {
+        let m = MessageSpec::new(9.0, 3.0);
+        assert_eq!(m.slice_count(), 3);
+        assert_eq!(m.slice_len(2), 3.0);
+    }
+
+    #[test]
+    fn atomic_message_is_one_slice() {
+        let m = MessageSpec::atomic(42.0);
+        assert_eq!(m.slice_count(), 1);
+        assert_eq!(m.slice_len(0), 42.0);
+    }
+
+    #[test]
+    fn slice_larger_than_total_is_clamped() {
+        let m = MessageSpec::new(5.0, 10.0);
+        assert_eq!(m.slice_size, 5.0);
+        assert_eq!(m.slice_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice index out of range")]
+    fn out_of_range_slice_panics() {
+        MessageSpec::new(10.0, 5.0).slice_len(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_total_panics() {
+        MessageSpec::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn default_is_100mb_in_1mb_slices() {
+        let m = MessageSpec::default();
+        assert_eq!(m.slice_count(), 100);
+    }
+}

@@ -1,0 +1,63 @@
+//! Broadcast on an Internet-like (Tiers-style) grid platform, the scenario of
+//! the paper's Table 3: a WAN core, metropolitan networks and LAN leaves.
+//! The example compares the topology-aware and LP-based heuristics to the
+//! multiple-tree optimum on both 30-node and 65-node platforms, and reports
+//! how the choice of the broadcast *source* (a WAN core node vs a LAN leaf)
+//! changes the achievable throughput.
+//!
+//! ```text
+//! cargo run --release --example grid_platform
+//! ```
+
+use broadcast_trees::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn evaluate(platform: &Platform, source: NodeId, slice: f64) {
+    let optimal = optimal_throughput(platform, source, slice, OptimalMethod::CutGeneration)
+        .expect("connected platform");
+    println!(
+        "  source {:<8} optimal {:>8.2} slices/s",
+        platform.processor(source).name, optimal.throughput
+    );
+    for kind in [
+        HeuristicKind::PruneDegree,
+        HeuristicKind::GrowTree,
+        HeuristicKind::LpGrow,
+        HeuristicKind::Binomial,
+    ] {
+        let structure =
+            build_structure_with_loads(platform, source, kind, CommModel::OnePort, slice, Some(&optimal))
+                .expect("heuristic succeeds");
+        let tp = steady_state_throughput(platform, &structure, CommModel::OnePort, slice);
+        println!(
+            "    {:<24} {:>8.2} slices/s  ({:>5.1}% of optimal)",
+            kind.label(),
+            tp,
+            100.0 * tp / optimal.throughput
+        );
+    }
+}
+
+fn main() {
+    let slice = 1.0e6;
+    for (label, config, seed) in [
+        ("30-node Tiers platform", TiersConfig::paper_30(), 7u64),
+        ("65-node Tiers platform", TiersConfig::paper_65(), 8u64),
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let platform = tiers_platform(&config, &mut rng);
+        println!(
+            "\n{label}: {} nodes, {} links, density {:.3}",
+            platform.node_count(),
+            platform.edge_count(),
+            platform.density()
+        );
+        // Broadcast from a WAN core node (node 0 is always a WAN node).
+        evaluate(&platform, NodeId(0), slice);
+        // Broadcast from the last LAN leaf: the tree must climb the hierarchy
+        // first, so the optimal and heuristic throughputs both drop.
+        let leaf = NodeId((platform.node_count() - 1) as u32);
+        evaluate(&platform, leaf, slice);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: every heuristic, on every kind of
+//! platform, must produce a valid spanning structure whose throughput never
+//! exceeds the multiple-tree optimum.
+
+use broadcast_trees::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SLICE: f64 = 1.0e6;
+
+fn check_platform(platform: &Platform, source: NodeId) {
+    let optimal = optimal_throughput(platform, source, SLICE, OptimalMethod::CutGeneration)
+        .expect("optimal solvable");
+    assert!(optimal.throughput > 0.0);
+    for kind in HeuristicKind::ALL {
+        let structure = build_structure_with_loads(
+            platform,
+            source,
+            kind,
+            CommModel::OnePort,
+            SLICE,
+            Some(&optimal),
+        )
+        .unwrap_or_else(|e| panic!("{kind:?} failed: {e}"));
+        // Spanning invariant.
+        assert_eq!(structure.source(), source);
+        assert!(structure.edge_count() >= platform.node_count() - 1);
+        if kind != HeuristicKind::Binomial {
+            assert!(structure.is_tree(), "{kind:?} must return a tree");
+            let arb = structure
+                .as_arborescence(platform)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(arb.root(), source);
+        }
+        // A single tree can never beat the multi-tree optimum (one-port).
+        let tp = steady_state_throughput(platform, &structure, CommModel::OnePort, SLICE);
+        assert!(
+            tp <= optimal.throughput * (1.0 + 1e-6),
+            "{kind:?}: throughput {tp} exceeds optimum {}",
+            optimal.throughput
+        );
+        assert!(tp > 0.0);
+    }
+}
+
+#[test]
+fn random_platforms_all_heuristics() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for &(nodes, density) in &[(6usize, 0.3), (12, 0.15), (20, 0.08), (30, 0.12)] {
+        let platform = random_platform(&RandomPlatformConfig::paper(nodes, density), &mut rng);
+        check_platform(&platform, NodeId(0));
+    }
+}
+
+#[test]
+fn tiers_platforms_all_heuristics() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let platform = tiers_platform(&TiersConfig::paper_30(), &mut rng);
+    check_platform(&platform, NodeId(0));
+    // Also broadcast from a leaf of the hierarchy.
+    let leaf = NodeId((platform.node_count() - 1) as u32);
+    check_platform(&platform, leaf);
+}
+
+#[test]
+fn different_sources_give_valid_trees() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let platform = random_platform(&RandomPlatformConfig::paper(15, 0.15), &mut rng);
+    for source in platform.nodes() {
+        let tree = build_structure(
+            &platform,
+            source,
+            HeuristicKind::GrowTree,
+            CommModel::OnePort,
+            SLICE,
+        )
+        .expect("grow tree succeeds");
+        assert_eq!(tree.as_arborescence(&platform).unwrap().root(), source);
+    }
+}
+
+#[test]
+fn lp_heuristics_reuse_optimal_loads_consistently() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let platform = random_platform(&RandomPlatformConfig::paper(14, 0.15), &mut rng);
+    let source = NodeId(2);
+    let optimal =
+        optimal_throughput(&platform, source, SLICE, OptimalMethod::CutGeneration).unwrap();
+    // Building with precomputed loads must equal building from scratch
+    // (the LP solve is deterministic).
+    for kind in [HeuristicKind::LpGrow, HeuristicKind::LpPrune] {
+        let with_loads = build_structure_with_loads(
+            &platform,
+            source,
+            kind,
+            CommModel::OnePort,
+            SLICE,
+            Some(&optimal),
+        )
+        .unwrap();
+        let from_scratch =
+            build_structure(&platform, source, kind, CommModel::OnePort, SLICE).unwrap();
+        assert_eq!(with_loads.edges(), from_scratch.edges());
+    }
+}
+
+#[test]
+fn direct_lp_and_cut_generation_agree_on_integration_scale() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let platform = random_platform(&RandomPlatformConfig::paper(10, 0.2), &mut rng);
+    let a = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::DirectLp).unwrap();
+    let b = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+    assert!(
+        (a.throughput - b.throughput).abs() <= 1e-4 * a.throughput.abs().max(1.0),
+        "direct {} vs cut-gen {}",
+        a.throughput,
+        b.throughput
+    );
+}
+
+#[test]
+fn evaluation_harness_matches_manual_computation() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let platform = random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng);
+    let (optimal, rows) = evaluate_heuristics(
+        &platform,
+        NodeId(0),
+        CommModel::OnePort,
+        SLICE,
+        &[HeuristicKind::GrowTree],
+    )
+    .unwrap();
+    let tree = build_structure_with_loads(
+        &platform,
+        NodeId(0),
+        HeuristicKind::GrowTree,
+        CommModel::OnePort,
+        SLICE,
+        Some(&optimal),
+    )
+    .unwrap();
+    let tp = steady_state_throughput(&platform, &tree, CommModel::OnePort, SLICE);
+    assert!((rows[0].throughput - tp).abs() < 1e-9);
+    assert!((rows[0].relative - tp / optimal.throughput).abs() < 1e-9);
+}
