@@ -17,9 +17,8 @@ fn bench_heuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("heuristics");
     for &nodes in &[10usize, 20, 30] {
         let platform = fixture_random(nodes, 0.12, 42 + nodes as u64);
-        let optimal =
-            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
-                .expect("optimal solvable");
+        let optimal = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+            .expect("optimal solvable");
         for kind in HeuristicKind::ALL {
             group.bench_with_input(
                 BenchmarkId::new(kind.label().replace(' ', "-"), nodes),

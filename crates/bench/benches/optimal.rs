@@ -68,7 +68,7 @@ fn bench_cutgen_scaling(c: &mut Criterion) {
             })
         });
     }
-    for &nodes in &[30usize] {
+    for &nodes in &[30usize, 65] {
         let platform = fixture_tiers(nodes, 13 + nodes as u64);
         group.bench_with_input(BenchmarkId::new("tiers", nodes), &nodes, |b, _| {
             b.iter(|| {

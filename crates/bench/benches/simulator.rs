@@ -40,22 +40,18 @@ fn bench_simulator(c: &mut Criterion) {
             );
         }
         let spec = MessageSpec::new(100.0 * SLICE, SLICE);
-        group.bench_with_input(
-            BenchmarkId::new("multi-port", nodes),
-            &nodes,
-            |b, _| {
-                let mp = platform.with_multiport_overheads(0.8, SLICE);
-                b.iter(|| {
-                    let report = simulate_broadcast(
-                        black_box(&mp),
-                        black_box(&tree),
-                        &spec,
-                        &SimulationConfig::new(CommModel::MultiPort),
-                    );
-                    black_box(report.makespan)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("multi-port", nodes), &nodes, |b, _| {
+            let mp = platform.with_multiport_overheads(0.8, SLICE);
+            b.iter(|| {
+                let report = simulate_broadcast(
+                    black_box(&mp),
+                    black_box(&tree),
+                    &spec,
+                    &SimulationConfig::new(CommModel::MultiPort),
+                );
+                black_box(report.makespan)
+            })
+        });
     }
     group.finish();
 }

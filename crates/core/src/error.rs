@@ -58,7 +58,9 @@ mod tests {
     fn display_messages_are_informative() {
         let e = CoreError::Unreachable { source: NodeId(3) };
         assert!(e.to_string().contains("P3"));
-        assert!(CoreError::EmptyPlatform.to_string().contains("no processors"));
+        assert!(CoreError::EmptyPlatform
+            .to_string()
+            .contains("no processors"));
         let lp: CoreError = LpError::Infeasible.into();
         assert!(lp.to_string().contains("infeasible"));
         let sp: CoreError = SpanningError::RootHasParent { root: NodeId(0) }.into();

@@ -35,7 +35,11 @@ pub fn binomial_tree(
     logical_to_node.push(source);
     logical_to_node.extend(platform.nodes().filter(|&u| u != source));
 
-    let m = if n > 1 { (n as f64).log2().floor() as u32 } else { 0 };
+    let m = if n > 1 {
+        (n as f64).log2().floor() as u32
+    } else {
+        0
+    };
     let pow_m = 1usize << m;
 
     // All logical transfers (from, to) of the binomial schedule.
@@ -155,8 +159,7 @@ mod tests {
         let grow =
             crate::heuristics::grow::grow_tree(&platform, NodeId(0), CommModel::OnePort, 1.0e6)
                 .unwrap();
-        let tp_binomial =
-            steady_state_throughput(&platform, &binomial, CommModel::OnePort, 1.0e6);
+        let tp_binomial = steady_state_throughput(&platform, &binomial, CommModel::OnePort, 1.0e6);
         let tp_grow = steady_state_throughput(&platform, &grow, CommModel::OnePort, 1.0e6);
         assert!(
             tp_grow >= tp_binomial,

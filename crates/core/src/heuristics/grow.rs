@@ -44,10 +44,7 @@ pub fn grow_tree(
             CommModel::MultiPort => {
                 let send = platform.node_send_time(u, slice_size);
                 let overhead = (child_times.len() + 1) as f64 * send;
-                let longest = child_times
-                    .iter()
-                    .copied()
-                    .fold(new_edge_time, f64::max);
+                let longest = child_times.iter().copied().fold(new_edge_time, f64::max);
                 overhead.max(longest)
             }
         }
@@ -86,7 +83,10 @@ mod tests {
         // On a uniform complete graph the heuristic spreads children instead
         // of building a star: the period must be well below the star's 7.
         let period = steady_state_period(&p, &t, CommModel::OnePort, 1.0);
-        assert!(period <= 4.0, "period {period} too large — tree not balanced");
+        assert!(
+            period <= 4.0,
+            "period {period} too large — tree not balanced"
+        );
     }
 
     #[test]

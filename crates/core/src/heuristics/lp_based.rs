@@ -121,7 +121,10 @@ mod tests {
         assert!(t.is_tree());
         assert!(t.edges().contains(&EdgeId(0)));
         assert!(t.edges().contains(&EdgeId(4)));
-        assert!(!t.edges().contains(&EdgeId(8)), "slow unused link must not be chosen");
+        assert!(
+            !t.edges().contains(&EdgeId(8)),
+            "slow unused link must not be chosen"
+        );
     }
 
     #[test]

@@ -93,8 +93,16 @@ pub fn build_structure(
     slice_size: f64,
 ) -> Result<BroadcastStructure, CoreError> {
     if kind.needs_lp() {
-        let optimal = optimal_throughput(platform, source, slice_size, OptimalMethod::CutGeneration)?;
-        return build_structure_with_loads(platform, source, kind, model, slice_size, Some(&optimal));
+        let optimal =
+            optimal_throughput(platform, source, slice_size, OptimalMethod::CutGeneration)?;
+        return build_structure_with_loads(
+            platform,
+            source,
+            kind,
+            model,
+            slice_size,
+            Some(&optimal),
+        );
     }
     build_structure_with_loads(platform, source, kind, model, slice_size, None)
 }
@@ -234,8 +242,8 @@ mod tests {
     fn multiport_heuristics_also_span() {
         let platform = small_platform().with_multiport_overheads(0.8, 1.0e6);
         for kind in [HeuristicKind::GrowTree, HeuristicKind::PruneDegree] {
-            let s = build_structure(&platform, NodeId(0), kind, CommModel::MultiPort, 1.0e6)
-                .unwrap();
+            let s =
+                build_structure(&platform, NodeId(0), kind, CommModel::MultiPort, 1.0e6).unwrap();
             assert!(s.is_tree());
         }
     }

@@ -162,6 +162,7 @@ mod tests {
         b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 2.0)); // e0,e1
         b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 2.0)); // e2,e3
         b.add_bidirectional_link(p[0], p[3], LinkCost::one_port(0.0, 2.0)); // e4,e5
+
         // Chain alternative with medium links.
         b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 3.0)); // e6,e7
         b.add_bidirectional_link(p[2], p[3], LinkCost::one_port(0.0, 3.0)); // e8,e9
@@ -210,8 +211,7 @@ mod tests {
             let platform = random_platform(&RandomPlatformConfig::paper(15, 0.15), &mut rng);
             let simple = prune_simple(&platform, NodeId(0), 1.0e6).unwrap();
             let refined = prune_degree(&platform, NodeId(0), CommModel::OnePort, 1.0e6).unwrap();
-            let tp_simple =
-                steady_state_throughput(&platform, &simple, CommModel::OnePort, 1.0e6);
+            let tp_simple = steady_state_throughput(&platform, &simple, CommModel::OnePort, 1.0e6);
             let tp_refined =
                 steady_state_throughput(&platform, &refined, CommModel::OnePort, 1.0e6);
             if tp_refined >= tp_simple - 1e-12 {
@@ -236,7 +236,10 @@ mod tests {
         let platform = b.build();
         let simple = prune_simple(&platform, NodeId(0), 1.0).unwrap();
         let refined = prune_degree(&platform, NodeId(0), CommModel::OnePort, 1.0).unwrap();
-        assert_eq!(simple.edges(), platform.edges().collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            simple.edges(),
+            platform.edges().collect::<Vec<_>>().as_slice()
+        );
         assert_eq!(refined.edges(), simple.edges());
     }
 

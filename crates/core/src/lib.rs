@@ -44,7 +44,7 @@ pub use error::CoreError;
 pub use evaluation::{evaluate_heuristics, EvaluationRow};
 pub use heuristics::{build_structure, HeuristicKind};
 pub use optimal::{optimal_throughput, OptimalMethod, OptimalThroughput};
-pub use throughput::{steady_state_period, steady_state_throughput, sta_makespan};
+pub use throughput::{sta_makespan, steady_state_period, steady_state_throughput};
 pub use tree::BroadcastStructure;
 
 pub use bcast_platform::{CommModel, MessageSpec, Platform};

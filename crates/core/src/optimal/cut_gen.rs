@@ -83,10 +83,7 @@ pub fn solve(
         if !seen_cuts.insert(key.clone()) {
             return false;
         }
-        let mut terms: Vec<(VarId, f64)> = key
-            .iter()
-            .map(|&e| (n_vars[e as usize], 1.0))
-            .collect();
+        let mut terms: Vec<(VarId, f64)> = key.iter().map(|&e| (n_vars[e as usize], 1.0)).collect();
         terms.push((tp, -1.0));
         lp.add_ge(&terms, 0.0);
         true
@@ -115,9 +112,7 @@ pub fn solve(
                 // zero (they are precisely the ones the master may increase).
                 let cut: Vec<bcast_net::EdgeId> = graph
                     .edges()
-                    .filter(|e| {
-                        flow.source_side[e.src.index()] && !flow.source_side[e.dst.index()]
-                    })
+                    .filter(|e| flow.source_side[e.src.index()] && !flow.source_side[e.dst.index()])
                     .map(|e| e.id)
                     .collect();
                 if add_cut(&mut lp, &cut) {
@@ -180,8 +175,9 @@ mod tests {
         let platform = random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng);
         let o = solve(&platform, NodeId(0), 1.0e6).unwrap();
         for w in platform.nodes().filter(|&w| w != NodeId(0)) {
-            let flow =
-                maxflow::max_flow(platform.graph(), NodeId(0), w, |e, _| o.edge_load[e.index()]);
+            let flow = maxflow::max_flow(platform.graph(), NodeId(0), w, |e, _| {
+                o.edge_load[e.index()]
+            });
             assert!(
                 flow.value >= o.throughput * (1.0 - 1e-5),
                 "destination {w}: flow {} < TP {}",

@@ -74,11 +74,7 @@ pub fn solve(
             .in_edges(*w)
             .map(|e| (x_var(e.id.index(), wi), 1.0))
             .collect();
-        terms.extend(
-            graph
-                .out_edges(*w)
-                .map(|e| (x_var(e.id.index(), wi), -1.0)),
-        );
+        terms.extend(graph.out_edges(*w).map(|e| (x_var(e.id.index(), wi), -1.0)));
         terms.push((tp, -1.0));
         lp.add_eq(&terms, 0.0);
     }
@@ -92,18 +88,14 @@ pub fn solve(
                 .in_edges(v)
                 .map(|e| (x_var(e.id.index(), wi), 1.0))
                 .collect();
-            terms.extend(
-                graph
-                    .out_edges(v)
-                    .map(|e| (x_var(e.id.index(), wi), -1.0)),
-            );
+            terms.extend(graph.out_edges(v).map(|e| (x_var(e.id.index(), wi), -1.0)));
             lp.add_eq(&terms, 0.0);
         }
     }
     // (d) x[e][w] ≤ n[e]
-    for e in 0..m {
+    for (e, &n_e) in n_vars.iter().enumerate() {
         for wi in 0..destinations.len() {
-            lp.add_le(&[(x_var(e, wi), 1.0), (n_vars[e], -1.0)], 0.0);
+            lp.add_le(&[(x_var(e, wi), 1.0), (n_e, -1.0)], 0.0);
         }
     }
     // (e)+(h) per-edge occupation ≤ 1

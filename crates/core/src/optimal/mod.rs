@@ -184,8 +184,8 @@ mod tests {
     fn loads_satisfy_port_constraints() {
         let mut rng = StdRng::seed_from_u64(6);
         let platform = random_platform(&RandomPlatformConfig::paper(15, 0.12), &mut rng);
-        let o = optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration)
-            .unwrap();
+        let o =
+            optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration).unwrap();
         assert_eq!(o.edge_load.len(), platform.edge_count());
         for u in platform.nodes() {
             let out: f64 = platform
@@ -230,8 +230,8 @@ mod tests {
     fn tiers_platform_is_solvable_with_cut_generation() {
         let mut rng = StdRng::seed_from_u64(12);
         let platform = tiers_platform(&TiersConfig::paper_30(), &mut rng);
-        let o = optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration)
-            .unwrap();
+        let o =
+            optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration).unwrap();
         assert!(o.throughput > 0.0 && o.throughput.is_finite());
         assert!(o.cuts > 0);
     }
@@ -242,8 +242,8 @@ mod tests {
         let p = b.add_processors(2);
         b.add_bidirectional_link(p[0], p[1], LinkCost::from_bandwidth(100.0));
         let platform = b.build();
-        let o = optimal_throughput(&platform, NodeId(0), 10.0, OptimalMethod::CutGeneration)
-            .unwrap();
+        let o =
+            optimal_throughput(&platform, NodeId(0), 10.0, OptimalMethod::CutGeneration).unwrap();
         // 10-byte slices over a 100 B/s link: 10 slices/s, i.e. 100 B/s.
         assert_close(o.throughput, 10.0, 1e-6);
         assert_close(o.bandwidth(10.0), 100.0, 1e-6);

@@ -36,7 +36,9 @@ pub fn steady_state_period(
     let mask = structure.edge_mask();
     let mut period: f64 = 0.0;
     for u in platform.nodes() {
-        period = period.max(node_period(platform, structure, &mask, u, model, slice_size));
+        period = period.max(node_period(
+            platform, structure, &mask, u, model, slice_size,
+        ));
     }
     period
 }
@@ -201,7 +203,9 @@ mod tests {
         let t = star_tree(&p);
         // Source sends 1 + 2 + 3 = 6 time units per unit-size slice.
         assert_eq!(steady_state_period(&p, &t, CommModel::OnePort, 1.0), 6.0);
-        assert!((steady_state_throughput(&p, &t, CommModel::OnePort, 1.0) - 1.0 / 6.0).abs() < 1e-12);
+        assert!(
+            (steady_state_throughput(&p, &t, CommModel::OnePort, 1.0) - 1.0 / 6.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -252,11 +256,7 @@ mod tests {
             b.add_bidirectional_link(p[0], p[i], LinkCost::one_port(0.0, 1.0));
         }
         let plat = b.build().with_multiport_overheads(0.8, 1.0);
-        let edges: Vec<EdgeId> = plat
-            .graph()
-            .out_edges(NodeId(0))
-            .map(|e| e.id)
-            .collect();
+        let edges: Vec<EdgeId> = plat.graph().out_edges(NodeId(0)).map(|e| e.id).collect();
         let t = BroadcastStructure::new(&plat, NodeId(0), edges).unwrap();
         let period = steady_state_period(&plat, &t, CommModel::MultiPort, 1.0);
         assert!((period - 4.8).abs() < 1e-9);

@@ -37,9 +37,19 @@ fn main() {
 fn solver_ablation(args: &ExperimentArgs) {
     println!("\nAblation 1 — MTP optimal solver: direct LP (2) vs cut generation");
     let mut table = AsciiTable::new(vec![
-        "nodes", "density", "TP direct", "TP cut-gen", "rel. gap", "direct ms", "cut-gen ms",
+        "nodes",
+        "density",
+        "TP direct",
+        "TP cut-gen",
+        "rel. gap",
+        "direct ms",
+        "cut-gen ms",
     ]);
-    let sizes: &[usize] = if args.quick { &[8, 10] } else { &[8, 10, 12, 16] };
+    let sizes: &[usize] = if args.quick {
+        &[8, 10]
+    } else {
+        &[8, 10, 12, 16]
+    };
     for &nodes in sizes {
         let mut rng = StdRng::seed_from_u64(args.seed + nodes as u64);
         let platform = random_platform(&RandomPlatformConfig::paper(nodes, 0.15), &mut rng);
@@ -68,7 +78,12 @@ fn solver_ablation(args: &ExperimentArgs) {
 /// Ablation 2: the refined pruning metric vs the simple one.
 fn pruning_metric_ablation(args: &ExperimentArgs) {
     println!("Ablation 2 — pruning metric: max edge weight vs weighted out-degree");
-    let mut table = AsciiTable::new(vec!["nodes", "Prune Simple", "Prune Degree", "degree/simple"]);
+    let mut table = AsciiTable::new(vec![
+        "nodes",
+        "Prune Simple",
+        "Prune Degree",
+        "degree/simple",
+    ]);
     for &nodes in &[10usize, 20, 30] {
         let mut simple_rel = Vec::new();
         let mut degree_rel = Vec::new();

@@ -11,7 +11,8 @@
 
 use bcast_core::heuristics::HeuristicKind;
 use bcast_experiments::{
-    aggregate_relative, random_sweep, write_csv, AsciiTable, ExperimentArgs, RandomSweepConfig,
+    aggregate_relative, random_sweep, write_csv_or_exit, AsciiTable, ExperimentArgs,
+    RandomSweepConfig,
 };
 
 fn main() {
@@ -55,8 +56,6 @@ fn main() {
     println!("\nFigure 4(a) — relative performance vs number of nodes (one-port)");
     println!("{}", table.render());
     if let Some(path) = &args.csv {
-        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        write_csv(path, &header_refs, &csv_rows).expect("failed to write CSV");
-        eprintln!("wrote {path}");
+        write_csv_or_exit(path, &header, &csv_rows);
     }
 }

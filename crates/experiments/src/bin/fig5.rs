@@ -12,7 +12,8 @@
 
 use bcast_core::heuristics::HeuristicKind;
 use bcast_experiments::{
-    aggregate_relative, random_sweep, write_csv, AsciiTable, ExperimentArgs, RandomSweepConfig,
+    aggregate_relative, random_sweep, write_csv_or_exit, AsciiTable, ExperimentArgs,
+    RandomSweepConfig,
 };
 use bcast_platform::CommModel;
 
@@ -71,8 +72,6 @@ fn main() {
     );
     println!("{}", table.render());
     if let Some(path) = &args.csv {
-        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        write_csv(path, &header_refs, &csv_rows).expect("failed to write CSV");
-        eprintln!("wrote {path}");
+        write_csv_or_exit(path, &header, &csv_rows);
     }
 }

@@ -10,7 +10,8 @@
 
 use bcast_core::heuristics::HeuristicKind;
 use bcast_experiments::{
-    aggregate_relative, tiers_sweep, write_csv, AsciiTable, ExperimentArgs, TiersSweepConfig,
+    aggregate_relative, tiers_sweep, write_csv_or_exit, AsciiTable, ExperimentArgs,
+    TiersSweepConfig,
 };
 
 /// Column order of the paper's Table 3.
@@ -62,8 +63,6 @@ fn main() {
     println!("\nTable 3 — one-port heuristics on Tiers-like platforms (mean ± deviation)");
     println!("{}", table.render());
     if let Some(path) = &args.csv {
-        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        write_csv(path, &header_refs, &csv_rows).expect("failed to write CSV");
-        eprintln!("wrote {path}");
+        write_csv_or_exit(path, &header, &csv_rows);
     }
 }

@@ -94,7 +94,16 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let a = parse(&["--configs", "7", "--seed", "99", "--csv", "out.csv", "--quick"]).unwrap();
+        let a = parse(&[
+            "--configs",
+            "7",
+            "--seed",
+            "99",
+            "--csv",
+            "out.csv",
+            "--quick",
+        ])
+        .unwrap();
         assert_eq!(a.configs, 7);
         assert_eq!(a.seed, 99);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));

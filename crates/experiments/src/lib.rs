@@ -24,7 +24,7 @@ pub mod output;
 pub mod sweep;
 
 pub use cli::ExperimentArgs;
-pub use output::{write_csv, AsciiTable};
+pub use output::{write_csv, write_csv_or_exit, AsciiTable};
 pub use sweep::{
     aggregate_relative, random_sweep, tiers_sweep, RandomSweepConfig, SweepPoint, SweepRecord,
     TiersSweepConfig,

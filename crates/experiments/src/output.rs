@@ -97,6 +97,19 @@ pub fn write_csv<P: AsRef<Path>>(
     w.flush()
 }
 
+/// Writes `rows` as CSV like [`write_csv`], then prints a confirmation;
+/// on failure it prints the error and exits with status 1.
+///
+/// This is the `--csv` handling shared by every experiment binary.
+pub fn write_csv_or_exit(path: &str, header: &[String], rows: &[Vec<String>]) {
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    if let Err(error) = write_csv(path, &header_refs, rows) {
+        eprintln!("cannot write {path}: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

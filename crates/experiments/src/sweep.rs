@@ -4,7 +4,7 @@
 //! the corresponding platform deterministically from `seed + instance`, runs
 //! [`bcast_core::evaluation::evaluate_heuristics`] on it and collects one
 //! [`SweepRecord`] per heuristic. Jobs are distributed over worker threads
-//! with `crossbeam` scoped threads (the work is embarrassingly parallel).
+//! with `std::thread::scope` (the work is embarrassingly parallel).
 
 use bcast_core::evaluation::{evaluate_heuristics, mean_and_deviation};
 use bcast_core::heuristics::HeuristicKind;
@@ -201,9 +201,7 @@ fn evaluate_instance(
             })
             .collect(),
         Err(error) => {
-            eprintln!(
-                "warning: skipping instance {instance} of point {point:?}: {error}"
-            );
+            eprintln!("warning: skipping instance {instance} of point {point:?}: {error}");
             Vec::new()
         }
     }
@@ -219,20 +217,22 @@ where
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, Vec<SweepRecord>)>> = Mutex::new(Vec::new());
     let workers = threads.clamp(1, jobs.len().max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= jobs.len() {
                     break;
                 }
                 let (point, instance) = jobs[index];
                 let records = work(point, instance);
-                results.lock().expect("poisoned results").push((index, records));
+                results
+                    .lock()
+                    .expect("poisoned results")
+                    .push((index, records));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     let mut indexed = results.into_inner().expect("poisoned results");
     indexed.sort_by_key(|(index, _)| *index);
     indexed.into_iter().flat_map(|(_, r)| r).collect()

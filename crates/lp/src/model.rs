@@ -239,11 +239,7 @@ impl LpProblem {
 
     /// Evaluates the objective at a given point (no feasibility check).
     pub fn eval_objective(&self, values: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(values)
-            .map(|(c, x)| c * x)
-            .sum()
+        self.objective.iter().zip(values).map(|(c, x)| c * x).sum()
     }
 
     /// Returns the largest constraint violation of `values` (0 when feasible).

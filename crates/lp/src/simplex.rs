@@ -110,8 +110,8 @@ impl Tableau {
                 continue;
             }
             let base = r * cols;
-            for c in 0..cols {
-                self.a[base + c] -= factor * pivot_row_copy[c];
+            for (value, &pivot_value) in self.a[base..base + cols].iter_mut().zip(&pivot_row_copy) {
+                *value -= factor * pivot_value;
             }
             // Clean tiny residue on the pivot column itself.
             self.a[base + pivot_col] = 0.0;
@@ -131,7 +131,6 @@ fn optimize(
     max_iterations: usize,
 ) -> (SolveStatus, usize) {
     let rows = tab.rows;
-    let cols = tab.cols;
     // Reduced-cost row: d[j] = c[j] - c_B' B^{-1} A_j. A column may enter
     // while d[j] > tolerance.
     let mut d = cost.to_vec();
@@ -161,17 +160,15 @@ fn optimize(
         // Entering column.
         let mut entering: Option<usize> = None;
         if use_bland {
-            for j in 0..cols {
-                if tab.allowed[j] && d[j] > options.cost_tolerance {
-                    entering = Some(j);
-                    break;
-                }
-            }
+            entering = d
+                .iter()
+                .zip(&tab.allowed)
+                .position(|(&dj, &ok)| ok && dj > options.cost_tolerance);
         } else {
             let mut best = options.cost_tolerance;
-            for j in 0..cols {
-                if tab.allowed[j] && d[j] > best {
-                    best = d[j];
+            for (j, (&dj, &ok)) in d.iter().zip(&tab.allowed).enumerate() {
+                if ok && dj > best {
+                    best = dj;
                     entering = Some(j);
                 }
             }
@@ -222,7 +219,7 @@ fn optimize(
         // Periodically recompute the reduced costs from scratch: the
         // incremental updates accumulate floating-point drift over long
         // degenerate runs, which can make the pricing step chase noise.
-        if iterations % 512 == 0 {
+        if iterations.is_multiple_of(512) {
             d.copy_from_slice(cost);
             for r in 0..rows {
                 let cb = cost[tab.basis[r]];
@@ -237,29 +234,50 @@ fn optimize(
     }
 }
 
+/// Normalizes one constraint for tableau assembly: returns the effective
+/// operator and the sign to apply to its coefficients and right-hand side.
+///
+/// Two rewrites happen here, and the column-counting pass and the assembly
+/// pass both rely on them agreeing:
+///
+/// 1. a negative right-hand side flips the row (`sign = -1`) so every
+///    assembled rhs is non-negative;
+/// 2. a `>= 0` row becomes the negated `<= 0` row, which admits a basic
+///    feasible slack directly. This avoids one artificial variable per such
+///    row — decisive for cut-generation masters, whose cut rows all have a
+///    zero right-hand side and would otherwise force a large, fully
+///    degenerate phase 1 on every re-solve.
+fn normalize_constraint(con: &crate::model::Constraint) -> (ConstraintOp, f64) {
+    let flip = con.rhs < 0.0;
+    let mut sign = if flip { -1.0 } else { 1.0 };
+    let mut op = if flip {
+        match con.op {
+            ConstraintOp::Le => ConstraintOp::Ge,
+            ConstraintOp::Ge => ConstraintOp::Le,
+            ConstraintOp::Eq => ConstraintOp::Eq,
+        }
+    } else {
+        con.op
+    };
+    if op == ConstraintOp::Ge && con.rhs == 0.0 {
+        op = ConstraintOp::Le;
+        sign = -sign;
+    }
+    (op, sign)
+}
+
 /// Solves `problem` with the given options.
 pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
     problem.validate()?;
     let n = problem.num_vars();
     let m = problem.num_constraints();
 
-    // Count auxiliary columns. A negative right-hand side flips the row's
-    // operator during assembly, so count with the *effective* operator.
-    let effective_op = |c: &crate::model::Constraint| -> ConstraintOp {
-        if c.rhs < 0.0 {
-            match c.op {
-                ConstraintOp::Le => ConstraintOp::Ge,
-                ConstraintOp::Ge => ConstraintOp::Le,
-                ConstraintOp::Eq => ConstraintOp::Eq,
-            }
-        } else {
-            c.op
-        }
-    };
+    // Count auxiliary columns with the same normalization the assembly loop
+    // applies, so the column layout and the written rows cannot desync.
     let mut num_slack = 0usize; // one per <= or >= row
     let mut num_artificial = 0usize; // one per >= or = row
     for c in problem.constraints() {
-        match effective_op(c) {
+        match normalize_constraint(c).0 {
             ConstraintOp::Le => num_slack += 1,
             ConstraintOp::Ge => {
                 num_slack += 1;
@@ -287,18 +305,7 @@ pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
     let mut next_art = art_base;
     let mut artificial_cols: Vec<usize> = Vec::with_capacity(num_artificial);
     for (r, con) in problem.constraints().iter().enumerate() {
-        // Normalise to a non-negative right-hand side.
-        let flip = con.rhs < 0.0;
-        let sign = if flip { -1.0 } else { 1.0 };
-        let op = if flip {
-            match con.op {
-                ConstraintOp::Le => ConstraintOp::Ge,
-                ConstraintOp::Ge => ConstraintOp::Le,
-                ConstraintOp::Eq => ConstraintOp::Eq,
-            }
-        } else {
-            con.op
-        };
+        let (op, sign) = normalize_constraint(con);
         let base = r * cols;
         for &(v, coeff) in &con.terms {
             tab.a[base + v.index()] += sign * coeff;
@@ -311,7 +318,7 @@ pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
         let row_scale = tab.a[base..base + n]
             .iter()
             .fold(0.0f64, |acc, &v| acc.max(v.abs()));
-        if row_scale > 0.0 && (row_scale < 1e-3 || row_scale > 1e3) {
+        if row_scale > 0.0 && !(1e-3..=1e3).contains(&row_scale) {
             for value in &mut tab.a[base..base + n] {
                 *value /= row_scale;
             }
@@ -378,8 +385,8 @@ pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
         // Pivot basic artificials (at value ~0) out of the basis when possible.
         for r in 0..rows {
             if tab.basis[r] >= art_base {
-                if let Some(col) = (0..art_base)
-                    .find(|&c| tab.at(r, c).abs() > options.pivot_tolerance)
+                if let Some(col) =
+                    (0..art_base).find(|&c| tab.at(r, c).abs() > options.pivot_tolerance)
                 {
                     tab.pivot(r, col);
                 }
@@ -593,14 +600,13 @@ mod tests {
         let vars: Vec<VarId> = (0..n).map(|i| lp.add_var(format!("x{i}"), 1.0)).collect();
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for _ in 0..40 {
-            let terms: Vec<(VarId, f64)> = vars
-                .iter()
-                .map(|&v| (v, 0.1 + next()))
-                .collect();
+            let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 0.1 + next())).collect();
             lp.add_le(&terms, 5.0 + 5.0 * next());
         }
         let sol = lp.solve().unwrap();
@@ -612,16 +618,14 @@ mod tests {
     fn weak_duality_holds_on_paired_problems() {
         // Primal: max c'x s.t. Ax <= b; Dual: min b'y s.t. A'y >= c.
         // Strong duality: optimal objectives coincide.
-        let a = [
-            [2.0, 1.0, 1.0],
-            [1.0, 3.0, 2.0],
-            [2.0, 2.0, 3.0_f64],
-        ];
+        let a = [[2.0, 1.0, 1.0], [1.0, 3.0, 2.0], [2.0, 2.0, 3.0_f64]];
         let b = [10.0, 15.0, 20.0];
         let c = [4.0, 5.0, 6.0];
 
         let mut primal = LpProblem::new(Sense::Maximize);
-        let xs: Vec<VarId> = (0..3).map(|i| primal.add_var(format!("x{i}"), c[i])).collect();
+        let xs: Vec<VarId> = (0..3)
+            .map(|i| primal.add_var(format!("x{i}"), c[i]))
+            .collect();
         for i in 0..3 {
             let terms: Vec<_> = (0..3).map(|j| (xs[j], a[i][j])).collect();
             primal.add_le(&terms, b[i]);
@@ -629,7 +633,9 @@ mod tests {
         let psol = primal.solve().unwrap();
 
         let mut dual = LpProblem::new(Sense::Minimize);
-        let ys: Vec<VarId> = (0..3).map(|i| dual.add_var(format!("y{i}"), b[i])).collect();
+        let ys: Vec<VarId> = (0..3)
+            .map(|i| dual.add_var(format!("y{i}"), b[i]))
+            .collect();
         for j in 0..3 {
             let terms: Vec<_> = (0..3).map(|i| (ys[i], a[i][j])).collect();
             dual.add_ge(&terms, c[j]);

@@ -63,7 +63,10 @@ impl FlowNetwork {
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, capacity: f64, origin: Option<EdgeId>) {
         let capacity = capacity.max(0.0);
         let (ui, vi) = (u.index(), v.index());
-        assert!(ui < self.arcs.len() && vi < self.arcs.len(), "node out of range");
+        assert!(
+            ui < self.arcs.len() && vi < self.arcs.len(),
+            "node out of range"
+        );
         let fwd_rev = self.arcs[vi].len() as u32;
         let bwd_rev = self.arcs[ui].len() as u32;
         self.arcs[ui].push(Arc {
@@ -124,9 +127,7 @@ impl FlowNetwork {
                 while self.cursor[u] < self.arcs[u].len() {
                     let ai = self.cursor[u];
                     let arc = &self.arcs[u][ai];
-                    if arc.residual > FLOW_EPS
-                        && self.level[arc.to as usize] == self.level[u] + 1
-                    {
+                    if arc.residual > FLOW_EPS && self.level[arc.to as usize] == self.level[u] + 1 {
                         path.push((u, ai));
                         u = arc.to as usize;
                         advanced = true;
@@ -170,7 +171,10 @@ impl FlowNetwork {
     /// the network).
     pub fn max_flow(&mut self, source: NodeId, sink: NodeId) -> f64 {
         let (s, t) = (source.index(), sink.index());
-        assert!(s < self.arcs.len() && t < self.arcs.len(), "node out of range");
+        assert!(
+            s < self.arcs.len() && t < self.arcs.len(),
+            "node out of range"
+        );
         if s == t {
             return f64::INFINITY;
         }
@@ -271,10 +275,7 @@ where
         net.add_edge(e.src, e.dst, capacity(e.id, e.payload), Some(e.id));
     }
     let value = net.max_flow(source, sink);
-    let edge_flow = graph
-        .edge_ids()
-        .map(|e| net.flow_on_origin(e))
-        .collect();
+    let edge_flow = graph.edge_ids().map(|e| net.flow_on_origin(e)).collect();
     let source_side = net.min_cut_source_side(source);
     let cut_edges = net.min_cut_edges(source);
     MaxFlowResult {

@@ -51,13 +51,19 @@ impl fmt::Display for SpanningError {
                 write!(f, "expected {expected} tree edges, found {found}")
             }
             SpanningError::BadInDegree { node, in_degree } => {
-                write!(f, "node {node} has in-degree {in_degree} in the tree (expected 1)")
+                write!(
+                    f,
+                    "node {node} has in-degree {in_degree} in the tree (expected 1)"
+                )
             }
             SpanningError::RootHasParent { root } => {
                 write!(f, "root {root} has an incoming tree edge")
             }
             SpanningError::Unreachable { node } => {
-                write!(f, "node {node} is not reachable from the root through tree edges")
+                write!(
+                    f,
+                    "node {node} is not reachable from the root through tree edges"
+                )
             }
             SpanningError::UnknownEdge { edge } => write!(f, "unknown edge {edge:?}"),
         }
@@ -366,8 +372,8 @@ mod tests {
     fn duplicate_parent_is_rejected() {
         let g = path_graph();
         // Node 2 gets two parents (e1 from 1 and e3 from 0); node 3 none.
-        let err =
-            Arborescence::from_edges(&g, NodeId(0), &[EdgeId(0), EdgeId(1), EdgeId(3)]).unwrap_err();
+        let err = Arborescence::from_edges(&g, NodeId(0), &[EdgeId(0), EdgeId(1), EdgeId(3)])
+            .unwrap_err();
         match err {
             SpanningError::BadInDegree { node, .. } => {
                 assert!(node == NodeId(2) || node == NodeId(3))
@@ -382,8 +388,7 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 1.0);
         g.add_edge(NodeId(1), NodeId(0), 1.0);
         g.add_edge(NodeId(1), NodeId(2), 1.0);
-        let err =
-            Arborescence::from_edges(&g, NodeId(0), &[EdgeId(1), EdgeId(2)]).unwrap_err();
+        let err = Arborescence::from_edges(&g, NodeId(0), &[EdgeId(1), EdgeId(2)]).unwrap_err();
         assert_eq!(err, SpanningError::RootHasParent { root: NodeId(0) });
     }
 
@@ -397,8 +402,8 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 1.0); // e0
         g.add_edge(NodeId(2), NodeId(3), 1.0); // e1
         g.add_edge(NodeId(3), NodeId(2), 1.0); // e2
-        let err =
-            Arborescence::from_edges(&g, NodeId(0), &[EdgeId(0), EdgeId(1), EdgeId(2)]).unwrap_err();
+        let err = Arborescence::from_edges(&g, NodeId(0), &[EdgeId(0), EdgeId(1), EdgeId(2)])
+            .unwrap_err();
         match err {
             SpanningError::Unreachable { node } => {
                 assert!(node == NodeId(2) || node == NodeId(3))

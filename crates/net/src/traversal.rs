@@ -24,11 +24,7 @@ fn edge_live(mask: EdgeMask<'_>, e: EdgeId) -> bool {
 /// Returns, for every node, `Some(parent_edge)` if the node was reached
 /// through that edge, `None` otherwise (the start node is reached with no
 /// parent edge). The result doubles as a reachability map and a BFS tree.
-pub fn bfs_directed<N, E>(
-    graph: &DiGraph<N, E>,
-    start: NodeId,
-    mask: EdgeMask<'_>,
-) -> BfsResult {
+pub fn bfs_directed<N, E>(graph: &DiGraph<N, E>, start: NodeId, mask: EdgeMask<'_>) -> BfsResult {
     let n = graph.node_count();
     let mut visited = vec![false; n];
     let mut parent_edge = vec![None; n];
@@ -59,11 +55,7 @@ pub fn bfs_directed<N, E>(
 }
 
 /// Breadth-first search treating every edge as bidirectional (weak reachability).
-pub fn bfs_undirected<N, E>(
-    graph: &DiGraph<N, E>,
-    start: NodeId,
-    mask: EdgeMask<'_>,
-) -> BfsResult {
+pub fn bfs_undirected<N, E>(graph: &DiGraph<N, E>, start: NodeId, mask: EdgeMask<'_>) -> BfsResult {
     let n = graph.node_count();
     let mut visited = vec![false; n];
     let mut parent_edge = vec![None; n];
@@ -138,11 +130,7 @@ impl BfsResult {
 ///
 /// This is the connectivity test used by the pruning heuristics: a broadcast
 /// tree must allow the source to reach every destination.
-pub fn all_reachable_from<N, E>(
-    graph: &DiGraph<N, E>,
-    source: NodeId,
-    mask: EdgeMask<'_>,
-) -> bool {
+pub fn all_reachable_from<N, E>(graph: &DiGraph<N, E>, source: NodeId, mask: EdgeMask<'_>) -> bool {
     bfs_directed(graph, source, mask).all_reached()
 }
 
@@ -192,10 +180,7 @@ pub fn reachable_set<N, E>(
     start: NodeId,
     mask: EdgeMask<'_>,
 ) -> Vec<NodeId> {
-    bfs_directed(graph, start, mask)
-        .order
-        .into_iter()
-        .collect()
+    bfs_directed(graph, start, mask).order.into_iter().collect()
 }
 
 #[cfg(test)]

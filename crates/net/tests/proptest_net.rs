@@ -2,9 +2,7 @@
 //! flow conservation, Dijkstra consistency and spanning-tree invariants on
 //! randomly generated directed graphs.
 
-use bcast_net::{
-    connectivity, max_flow, shortest_path, spanning, traversal, DiGraph, NodeId,
-};
+use bcast_net::{connectivity, max_flow, shortest_path, spanning, traversal, DiGraph, NodeId};
 use proptest::prelude::*;
 
 /// A random directed graph description: node count plus a list of

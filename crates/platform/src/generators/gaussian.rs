@@ -55,7 +55,9 @@ mod tests {
     fn sample_statistics_are_plausible() {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 100.0, 20.0)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_normal(&mut rng, 100.0, 20.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 100.0).abs() < 1.0, "mean = {mean}");

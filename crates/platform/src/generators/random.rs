@@ -169,10 +169,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let cfg = RandomPlatformConfig::paper(40, 0.2);
         let p = random_platform(&cfg, &mut rng);
-        let bandwidths: Vec<f64> = p
-            .edges()
-            .map(|e| p.link_cost(e).bandwidth())
-            .collect();
+        let bandwidths: Vec<f64> = p.edges().map(|e| p.link_cost(e).bandwidth()).collect();
         let mean = bandwidths.iter().sum::<f64>() / bandwidths.len() as f64;
         assert!(
             (mean - 100.0e6).abs() < 10.0e6,

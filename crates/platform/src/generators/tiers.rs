@@ -90,7 +90,10 @@ impl Default for TiersConfig {
 
 /// Generates a Tiers-style hierarchical platform.
 pub fn tiers_platform<R: Rng + ?Sized>(config: &TiersConfig, rng: &mut R) -> Platform {
-    assert!(config.total_nodes >= 3, "a Tiers platform needs at least 3 nodes");
+    assert!(
+        config.total_nodes >= 3,
+        "a Tiers platform needs at least 3 nodes"
+    );
     assert!(
         config.wan_fraction > 0.0
             && config.man_fraction >= 0.0
@@ -99,8 +102,7 @@ pub fn tiers_platform<R: Rng + ?Sized>(config: &TiersConfig, rng: &mut R) -> Pla
     );
     let total = config.total_nodes;
     let wan_count = ((total as f64 * config.wan_fraction).round() as usize).clamp(2, total);
-    let man_count =
-        ((total as f64 * config.man_fraction).round() as usize).min(total - wan_count);
+    let man_count = ((total as f64 * config.man_fraction).round() as usize).min(total - wan_count);
     let lan_count = total - wan_count - man_count;
 
     let mut builder = Platform::builder();
@@ -248,7 +250,10 @@ mod tests {
         assert_eq!(p.node_count(), 30);
         assert!(p.is_broadcast_feasible(NodeId(0)));
         let d = p.density();
-        assert!(d >= 0.05 && d <= 0.16, "density {d} outside the paper band");
+        assert!(
+            (0.05..=0.16).contains(&d),
+            "density {d} outside the paper band"
+        );
     }
 
     #[test]
@@ -258,7 +263,10 @@ mod tests {
         assert_eq!(p.node_count(), 65);
         assert!(p.is_broadcast_feasible(NodeId(0)));
         let d = p.density();
-        assert!(d >= 0.04 && d <= 0.16, "density {d} outside the paper band");
+        assert!(
+            (0.04..=0.16).contains(&d),
+            "density {d} outside the paper band"
+        );
     }
 
     #[test]
@@ -282,7 +290,10 @@ mod tests {
         let mut wan = Vec::new();
         let mut lan = Vec::new();
         for e in p.graph().edges() {
-            let (s, d) = (p.processor(e.src).name.clone(), p.processor(e.dst).name.clone());
+            let (s, d) = (
+                p.processor(e.src).name.clone(),
+                p.processor(e.dst).name.clone(),
+            );
             if s.starts_with("wan") && d.starts_with("wan") {
                 wan.push(e.payload.bandwidth());
             }

@@ -151,9 +151,7 @@ pub fn simulate_broadcast(
     let mut recv_free_at = vec![0.0f64; n];
     // has_slice[u][k]: time the slice became available, or NaN if not yet.
     let mut slice_at = vec![vec![f64::NAN; slices]; n];
-    for k in 0..slices {
-        slice_at[source.index()][k] = 0.0;
-    }
+    slice_at[source.index()].fill(0.0);
     let mut received_count = vec![0usize; n];
     received_count[source.index()] = slices;
     let mut node_completion = vec![f64::NAN; n];
@@ -312,10 +310,11 @@ pub fn simulate_broadcast(
     // Every slice must have reached every node: the structure spans the
     // platform by construction.
     debug_assert!(slice_completion.iter().all(|t| t.is_finite()));
-    let makespan = node_completion
-        .iter()
-        .copied()
-        .fold(0.0f64, |acc, t| if t.is_finite() { acc.max(t) } else { acc });
+    let makespan =
+        node_completion.iter().copied().fold(
+            0.0f64,
+            |acc, t| if t.is_finite() { acc.max(t) } else { acc },
+        );
     SimulationReport {
         slices,
         slice_completion,
@@ -343,7 +342,7 @@ fn match_sender_busy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bcast_core::{steady_state_period, sta_makespan};
+    use bcast_core::{sta_makespan, steady_state_period};
     use bcast_net::EdgeId;
     use bcast_platform::LinkCost;
 
@@ -365,12 +364,9 @@ mod tests {
         b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 2.0));
         b.add_bidirectional_link(p[0], p[3], LinkCost::one_port(0.0, 3.0));
         let platform = b.build();
-        let tree = BroadcastStructure::new(
-            &platform,
-            NodeId(0),
-            vec![EdgeId(0), EdgeId(2), EdgeId(4)],
-        )
-        .unwrap();
+        let tree =
+            BroadcastStructure::new(&platform, NodeId(0), vec![EdgeId(0), EdgeId(2), EdgeId(4)])
+                .unwrap();
         (platform, tree)
     }
 
@@ -457,12 +453,9 @@ mod tests {
     fn makespan_grows_linearly_with_slices() {
         let (platform, tree) = chain();
         let cfg = SimulationConfig::new(CommModel::OnePort);
-        let m10 =
-            simulate_broadcast(&platform, &tree, &MessageSpec::new(10.0, 1.0), &cfg).makespan;
-        let m20 =
-            simulate_broadcast(&platform, &tree, &MessageSpec::new(20.0, 1.0), &cfg).makespan;
-        let m30 =
-            simulate_broadcast(&platform, &tree, &MessageSpec::new(30.0, 1.0), &cfg).makespan;
+        let m10 = simulate_broadcast(&platform, &tree, &MessageSpec::new(10.0, 1.0), &cfg).makespan;
+        let m20 = simulate_broadcast(&platform, &tree, &MessageSpec::new(20.0, 1.0), &cfg).makespan;
+        let m30 = simulate_broadcast(&platform, &tree, &MessageSpec::new(30.0, 1.0), &cfg).makespan;
         let d1 = m20 - m10;
         let d2 = m30 - m20;
         assert!((d1 - d2).abs() < 1e-9, "non-linear growth: {d1} vs {d2}");

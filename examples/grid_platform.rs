@@ -18,7 +18,8 @@ fn evaluate(platform: &Platform, source: NodeId, slice: f64) {
         .expect("connected platform");
     println!(
         "  source {:<8} optimal {:>8.2} slices/s",
-        platform.processor(source).name, optimal.throughput
+        platform.processor(source).name,
+        optimal.throughput
     );
     for kind in [
         HeuristicKind::PruneDegree,
@@ -26,9 +27,15 @@ fn evaluate(platform: &Platform, source: NodeId, slice: f64) {
         HeuristicKind::LpGrow,
         HeuristicKind::Binomial,
     ] {
-        let structure =
-            build_structure_with_loads(platform, source, kind, CommModel::OnePort, slice, Some(&optimal))
-                .expect("heuristic succeeds");
+        let structure = build_structure_with_loads(
+            platform,
+            source,
+            kind,
+            CommModel::OnePort,
+            slice,
+            Some(&optimal),
+        )
+        .expect("heuristic succeeds");
         let tp = steady_state_throughput(platform, &structure, CommModel::OnePort, slice);
         println!(
             "    {:<24} {:>8.2} slices/s  ({:>5.1}% of optimal)",

@@ -20,9 +20,13 @@ fn build_cluster() -> Platform {
     let mut b = Platform::builder();
     let head = b.add_processor("head");
     // Rack A: 6 nodes, full bisection inside the rack.
-    let rack_a: Vec<NodeId> = (0..6).map(|i| b.add_processor(format!("rackA{i}"))).collect();
+    let rack_a: Vec<NodeId> = (0..6)
+        .map(|i| b.add_processor(format!("rackA{i}")))
+        .collect();
     // Rack B: 6 nodes.
-    let rack_b: Vec<NodeId> = (0..6).map(|i| b.add_processor(format!("rackB{i}"))).collect();
+    let rack_b: Vec<NodeId> = (0..6)
+        .map(|i| b.add_processor(format!("rackB{i}")))
+        .collect();
     // Workstations: 4 nodes.
     let stations: Vec<NodeId> = (0..4).map(|i| b.add_processor(format!("ws{i}"))).collect();
 
@@ -80,9 +84,8 @@ fn main() {
     ] {
         let structure = build_structure(&platform, source, kind, CommModel::OnePort, slice)
             .expect("heuristic succeeds");
-        let bandwidth =
-            steady_state_bandwidth(&platform, &structure, CommModel::OnePort, &MessageSpec::new(100.0e6, slice));
         let spec = MessageSpec::new(100.0e6, slice);
+        let bandwidth = steady_state_bandwidth(&platform, &structure, CommModel::OnePort, &spec);
         let report = simulate_broadcast(
             &platform,
             &structure,
@@ -101,12 +104,22 @@ fn main() {
 
     // Where does the binomial tree lose? Count how many of its transfers
     // cross the slow Ethernet / uplink links.
-    let binomial =
-        build_structure(&platform, source, HeuristicKind::Binomial, CommModel::OnePort, slice)
-            .unwrap();
-    let grow =
-        build_structure(&platform, source, HeuristicKind::GrowTree, CommModel::OnePort, slice)
-            .unwrap();
+    let binomial = build_structure(
+        &platform,
+        source,
+        HeuristicKind::Binomial,
+        CommModel::OnePort,
+        slice,
+    )
+    .unwrap();
+    let grow = build_structure(
+        &platform,
+        source,
+        HeuristicKind::GrowTree,
+        CommModel::OnePort,
+        slice,
+    )
+    .unwrap();
     for (name, s) in [("binomial", &binomial), ("grow-tree", &grow)] {
         let slow_edges = s
             .edges()

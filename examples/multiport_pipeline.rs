@@ -33,10 +33,16 @@ fn main() {
     let optimal = optimal_throughput(&one_port, source, slice, OptimalMethod::CutGeneration)
         .expect("connected platform");
     println!("one-port MTP optimum: {:.2} slices/s", optimal.throughput);
-    println!("\n{:<26} {:>12} {:>12}", "tree built for / eval under", "one-port", "multi-port");
-    for kind in [HeuristicKind::GrowTree, HeuristicKind::PruneDegree, HeuristicKind::Binomial] {
-        let tree_one =
-            build_structure(&one_port, source, kind, CommModel::OnePort, slice).unwrap();
+    println!(
+        "\n{:<26} {:>12} {:>12}",
+        "tree built for / eval under", "one-port", "multi-port"
+    );
+    for kind in [
+        HeuristicKind::GrowTree,
+        HeuristicKind::PruneDegree,
+        HeuristicKind::Binomial,
+    ] {
+        let tree_one = build_structure(&one_port, source, kind, CommModel::OnePort, slice).unwrap();
         let tree_multi =
             build_structure(&multi_port, source, kind, CommModel::MultiPort, slice).unwrap();
         let tp_one = steady_state_throughput(&one_port, &tree_one, CommModel::OnePort, slice);
@@ -50,10 +56,19 @@ fn main() {
     );
 
     // --- slice-size trade-off for a 200 MB message -----------------------
-    let tree = build_structure(&one_port, source, HeuristicKind::GrowTree, CommModel::OnePort, slice)
-        .unwrap();
+    let tree = build_structure(
+        &one_port,
+        source,
+        HeuristicKind::GrowTree,
+        CommModel::OnePort,
+        slice,
+    )
+    .unwrap();
     println!("\nslice size vs completion time of a 200 MB broadcast (Grow Tree, one-port):");
-    println!("{:>12} {:>10} {:>16}", "slice (MB)", "slices", "completion (s)");
+    println!(
+        "{:>12} {:>10} {:>16}",
+        "slice (MB)", "slices", "completion (s)"
+    );
     for &slice_mb in &[0.125f64, 0.5, 1.0, 4.0, 16.0, 64.0, 200.0] {
         let spec = MessageSpec::new(200.0e6, slice_mb * 1.0e6);
         let report = simulate_broadcast(

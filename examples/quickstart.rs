@@ -34,7 +34,10 @@ fn main() {
     );
 
     // 3. Every heuristic of the paper, from best to worst.
-    println!("\n{:<24} {:>12} {:>10} {:>6}", "heuristic", "slices/s", "relative", "tree?");
+    println!(
+        "\n{:<24} {:>12} {:>10} {:>6}",
+        "heuristic", "slices/s", "relative", "tree?"
+    );
     let mut rows = Vec::new();
     for kind in HeuristicKind::ALL {
         let structure = build_structure(&platform, source, kind, CommModel::OnePort, slice)
@@ -54,8 +57,14 @@ fn main() {
     }
 
     // 4. Validate the best heuristic with the discrete-event simulator.
-    let tree = build_structure(&platform, source, HeuristicKind::GrowTree, CommModel::OnePort, slice)
-        .unwrap();
+    let tree = build_structure(
+        &platform,
+        source,
+        HeuristicKind::GrowTree,
+        CommModel::OnePort,
+        slice,
+    )
+    .unwrap();
     let spec = MessageSpec::new(100.0e6, slice); // 100 MB message in 1 MB slices
     let report = simulate_broadcast(
         &platform,

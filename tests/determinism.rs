@@ -1,0 +1,149 @@
+//! Cross-crate determinism guard.
+//!
+//! Everything in this workspace — the platform generators, the LP solver,
+//! the heuristics, the simulator — is required to be bit-for-bit
+//! deterministic for a fixed seed: iteration orders are index orders, the
+//! only randomness flows through an explicitly seeded `StdRng`, and the
+//! sweeps sort their results by job index. These tests pin that property so
+//! a future refactor that sneaks in hash-map iteration, thread-order
+//! dependence, or an RNG stream change is caught immediately.
+//!
+//! The golden values below were produced by this crate itself (seed 2024,
+//! 12-node / 0.15-density paper platform). If an *intentional* change to a
+//! heuristic, the generator, or the vendored RNG shifts them, rerun with
+//! `--nocapture`: each assertion prints the observed tree so the constants
+//! can be updated in one pass. Do not update them for refactors that are
+//! supposed to be behaviour-preserving.
+
+use broadcast_trees::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SLICE: f64 = 1.0e6;
+const SEED: u64 = 2024;
+
+fn fixture() -> Platform {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng)
+}
+
+/// `(heuristic, steady-state throughput, tree edge ids)` for the fixture.
+fn golden() -> Vec<(HeuristicKind, f64, Vec<u32>)> {
+    vec![
+        (
+            HeuristicKind::PruneSimple,
+            28.630683,
+            vec![0, 2, 5, 8, 11, 13, 14, 17, 21, 22, 31],
+        ),
+        (
+            HeuristicKind::PruneDegree,
+            52.243232,
+            vec![1, 11, 13, 14, 17, 21, 22, 24, 26, 31, 37],
+        ),
+        (
+            HeuristicKind::GrowTree,
+            38.613852,
+            vec![1, 5, 11, 13, 14, 17, 19, 21, 22, 26, 37],
+        ),
+        (
+            HeuristicKind::LpGrow,
+            52.209657,
+            vec![1, 3, 8, 13, 16, 22, 27, 28, 33, 34, 39],
+        ),
+        (
+            HeuristicKind::LpPrune,
+            52.209657,
+            vec![1, 3, 8, 13, 16, 22, 27, 28, 33, 34, 39],
+        ),
+        (
+            HeuristicKind::Binomial,
+            28.095803,
+            vec![
+                1, 2, 3, 4, 5, 8, 10, 11, 13, 14, 15, 19, 20, 22, 24, 26, 27, 28, 30, 32, 36,
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn every_heuristic_matches_its_golden_tree_and_throughput() {
+    let platform = fixture();
+    assert_eq!(platform.edge_count(), 40, "generator stream changed");
+    for (kind, expected_tp, expected_edges) in golden() {
+        let tree = build_structure(&platform, NodeId(0), kind, CommModel::OnePort, SLICE).unwrap();
+        let observed: Vec<u32> = tree.edges().iter().map(|e| e.0).collect();
+        let tp = steady_state_throughput(&platform, &tree, CommModel::OnePort, SLICE);
+        assert_eq!(
+            observed, expected_edges,
+            "{kind:?} built a different tree (observed tp {tp:.6})"
+        );
+        assert!(
+            (tp - expected_tp).abs() < 1e-5,
+            "{kind:?} throughput drifted: observed {tp:.6}, golden {expected_tp:.6}"
+        );
+    }
+}
+
+#[test]
+fn rebuilding_from_the_same_seed_is_identical() {
+    // Two completely independent platform + tree constructions; any hidden
+    // global state or allocation-order dependence breaks this.
+    for kind in HeuristicKind::ALL {
+        let (a_edges, a_tp) = {
+            let p = fixture();
+            let t = build_structure(&p, NodeId(0), kind, CommModel::OnePort, SLICE).unwrap();
+            let tp = steady_state_throughput(&p, &t, CommModel::OnePort, SLICE);
+            (t.edges().to_vec(), tp)
+        };
+        let (b_edges, b_tp) = {
+            let p = fixture();
+            let t = build_structure(&p, NodeId(0), kind, CommModel::OnePort, SLICE).unwrap();
+            let tp = steady_state_throughput(&p, &t, CommModel::OnePort, SLICE);
+            (t.edges().to_vec(), tp)
+        };
+        assert_eq!(a_edges, b_edges, "{kind:?} is not rebuild-deterministic");
+        assert_eq!(a_tp, b_tp, "{kind:?} throughput differs across rebuilds");
+    }
+}
+
+#[test]
+fn optimal_solvers_are_deterministic_and_agree() {
+    let platform = fixture();
+    let a = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+    let b = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+    assert_eq!(a.throughput, b.throughput);
+    assert_eq!(a.edge_load, b.edge_load);
+    let direct = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::DirectLp).unwrap();
+    assert!(
+        (direct.throughput - a.throughput).abs() <= 1e-4 * a.throughput,
+        "direct {} vs cut-gen {}",
+        direct.throughput,
+        a.throughput
+    );
+}
+
+#[test]
+fn simulation_reports_are_deterministic() {
+    let platform = fixture();
+    let tree = build_structure(
+        &platform,
+        NodeId(0),
+        HeuristicKind::GrowTree,
+        CommModel::OnePort,
+        SLICE,
+    )
+    .unwrap();
+    let spec = MessageSpec::new(50.0 * SLICE, SLICE);
+    let run = || {
+        simulate_broadcast(
+            &platform,
+            &tree,
+            &spec,
+            &SimulationConfig::new(CommModel::OnePort),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.slice_completion, b.slice_completion);
+}

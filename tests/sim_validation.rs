@@ -44,8 +44,14 @@ fn simulated_period_matches_analytic_multi_port() {
     let mut rng = StdRng::seed_from_u64(8);
     let platform = random_platform(&RandomPlatformConfig::paper(15, 0.15), &mut rng)
         .with_multiport_overheads(0.8, SLICE);
-    let tree = build_structure(&platform, NodeId(0), HeuristicKind::GrowTree, CommModel::MultiPort, SLICE)
-        .unwrap();
+    let tree = build_structure(
+        &platform,
+        NodeId(0),
+        HeuristicKind::GrowTree,
+        CommModel::MultiPort,
+        SLICE,
+    )
+    .unwrap();
     let analytic = steady_state_period(&platform, &tree, CommModel::MultiPort, SLICE);
     let spec = MessageSpec::new(300.0 * SLICE, SLICE);
     let report = simulate_broadcast(
@@ -69,9 +75,14 @@ fn simulated_period_matches_analytic_multi_port() {
 fn simulation_bounds_are_consistent() {
     let mut rng = StdRng::seed_from_u64(9);
     let platform = random_platform(&RandomPlatformConfig::paper(12, 0.2), &mut rng);
-    let tree =
-        build_structure(&platform, NodeId(0), HeuristicKind::GrowTree, CommModel::OnePort, SLICE)
-            .unwrap();
+    let tree = build_structure(
+        &platform,
+        NodeId(0),
+        HeuristicKind::GrowTree,
+        CommModel::OnePort,
+        SLICE,
+    )
+    .unwrap();
     let total = 50.0 * SLICE;
     let spec = MessageSpec::new(total, SLICE);
     let report = simulate_broadcast(
@@ -103,9 +114,14 @@ fn simulation_bounds_are_consistent() {
 fn binomial_overlay_simulates_correctly() {
     let mut rng = StdRng::seed_from_u64(10);
     let platform = random_platform(&RandomPlatformConfig::paper(17, 0.1), &mut rng);
-    let overlay =
-        build_structure(&platform, NodeId(0), HeuristicKind::Binomial, CommModel::OnePort, SLICE)
-            .unwrap();
+    let overlay = build_structure(
+        &platform,
+        NodeId(0),
+        HeuristicKind::Binomial,
+        CommModel::OnePort,
+        SLICE,
+    )
+    .unwrap();
     let spec = MessageSpec::new(30.0 * SLICE, SLICE);
     let report = simulate_broadcast(
         &platform,

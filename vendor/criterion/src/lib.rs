@@ -1,0 +1,250 @@
+//! Vendored subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! Benchmarks compile and run with `cargo bench`, timing each closure with
+//! `std::time::Instant` and reporting the median over `sample_size` samples.
+//! There are no statistical tests, plots, or baselines — this exists so the
+//! workspace's benches stay buildable and give honest ballpark numbers in an
+//! environment that cannot fetch the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget; sampling stops early once exceeded.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named benchmark id: function name plus parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            samples,
+            durations: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        bencher.report(&id.to_string());
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            samples,
+            durations: Vec::new(),
+        };
+        routine(&mut bencher);
+        bencher.report(&id.into());
+        self
+    }
+
+    /// Closes the group (parity with the real API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times a closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`: warms up, then records `sample_size` timed
+    /// samples (stopping early when the measurement budget is spent).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std_black_box(routine());
+        }
+        self.durations.clear();
+        let budget = Instant::now() + self.measurement_time;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.durations.push(start.elapsed());
+            if Instant::now() > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.durations.is_empty() {
+            println!("  {label}: no samples recorded");
+            return;
+        }
+        self.durations.sort_unstable();
+        let median = self.durations[self.durations.len() / 2];
+        let min = self.durations[0];
+        let max = self.durations[self.durations.len() - 1];
+        println!(
+            "  {label}: median {median:?} (min {min:?}, max {max:?}, {} samples)",
+            self.durations.len()
+        );
+    }
+}
+
+/// Declares a benchmark group; both the simple and the `name/config/targets`
+/// forms of the real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples_and_groups_run() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("unit");
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &1, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "expected warm-up plus 3 samples, got {runs}");
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("grow", 30).to_string(), "grow/30");
+    }
+}

@@ -1,0 +1,68 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: a fixed size or a size range.
+pub trait SizeRange {
+    /// Samples a concrete length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// described by `len` (a `usize`, a `Range<usize>`, or `RangeInclusive`).
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_the_size_range() {
+        let mut rng = crate::test_rng("lengths_respect_the_size_range", 0);
+        for _ in 0..100 {
+            assert_eq!(vec(0u32..5, 7usize).generate(&mut rng).len(), 7);
+            let v = vec(0u32..5, 2usize..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = vec(0u32..5, 1usize..=3).generate(&mut rng);
+            assert!((1..=3).contains(&w.len()));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Vendored `serde` facade.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits and re-exports the
+//! no-op derives from the vendored `serde_derive`, so that workspace types
+//! keep their `#[derive(Serialize, Deserialize)]` attributes without pulling
+//! the real `serde` (unavailable: the build environment has no registry
+//! access). No code in the workspace performs actual (de)serialization; the
+//! day one does, this crate is replaced by the real `serde` with no source
+//! changes elsewhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; see crate docs).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; see crate docs).
+pub trait Deserialize<'de> {}

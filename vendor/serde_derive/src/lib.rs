@@ -1,0 +1,22 @@
+//! No-op derive macros for the vendored `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! persistence can be enabled later, but nothing in the tree actually
+//! serializes today and the build environment cannot fetch the real `serde`.
+//! These derives therefore expand to nothing: the types still compile with
+//! `#[derive(Serialize, Deserialize)]` attributes in place, and swapping the
+//! vendored crates for the real ones requires no source change.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts anything `#[derive(Serialize)]` accepts.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts anything `#[derive(Deserialize)]` accepts.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
