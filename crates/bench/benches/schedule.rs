@@ -1,0 +1,65 @@
+//! Benchmarks of the schedule-synthesis pipeline: load rounding, Edmonds
+//! arborescence packing, round decomposition, and the schedule replay.
+
+use bcast_bench::{fixture_random, fixture_tiers, SLICE};
+use bcast_core::optimal::{optimal_throughput, OptimalMethod};
+use bcast_net::NodeId;
+use bcast_platform::MessageSpec;
+use bcast_sched::{synthesize_schedule, SynthesisConfig};
+use bcast_sim::simulate_schedule;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    for &nodes in &[20usize, 30] {
+        let platform = fixture_random(nodes, 0.12, 11 + nodes as u64);
+        let optimal = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+            .expect("solvable");
+        for &batch in &[16usize, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("synthesize-{nodes}n"), batch),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| {
+                        let schedule = synthesize_schedule(
+                            black_box(&platform),
+                            NodeId(0),
+                            black_box(&optimal),
+                            SLICE,
+                            &SynthesisConfig::with_batch(batch),
+                        )
+                        .expect("synthesis succeeds");
+                        black_box(schedule.period())
+                    })
+                },
+            );
+        }
+    }
+    let platform = fixture_tiers(30, 17);
+    let optimal = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+        .expect("solvable");
+    let schedule = synthesize_schedule(
+        &platform,
+        NodeId(0),
+        &optimal,
+        SLICE,
+        &SynthesisConfig::with_batch(32),
+    )
+    .expect("synthesis succeeds");
+    let spec = MessageSpec::new(32.0 * 20.0 * SLICE, SLICE);
+    group.bench_function("replay-tiers30", |b| {
+        b.iter(|| {
+            let report = simulate_schedule(black_box(&platform), black_box(&schedule), &spec);
+            black_box(report.makespan)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_schedule
+}
+criterion_main!(benches);

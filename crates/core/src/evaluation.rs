@@ -50,6 +50,24 @@ pub fn evaluate_heuristics(
     kinds: &[HeuristicKind],
 ) -> Result<(OptimalThroughput, Vec<EvaluationRow>), CoreError> {
     let optimal = optimal_throughput(platform, source, slice_size, OptimalMethod::CutGeneration)?;
+    let rows =
+        evaluate_heuristics_with_optimal(platform, source, model, slice_size, kinds, &optimal);
+    Ok((optimal, rows))
+}
+
+/// Evaluates `kinds` against an already-computed optimal solution.
+///
+/// This is the inner loop of [`evaluate_heuristics`], split out so callers
+/// that solve the LP themselves (e.g. the sweep harness, which seeds the
+/// cut-generation master with cuts from earlier instances) can reuse it.
+pub fn evaluate_heuristics_with_optimal(
+    platform: &Platform,
+    source: NodeId,
+    model: CommModel,
+    slice_size: f64,
+    kinds: &[HeuristicKind],
+    optimal: &OptimalThroughput,
+) -> Vec<EvaluationRow> {
     let mut rows = Vec::with_capacity(kinds.len());
     for &kind in kinds {
         let row = match build_structure_with_loads(
@@ -58,7 +76,7 @@ pub fn evaluate_heuristics(
             kind,
             model,
             slice_size,
-            Some(&optimal),
+            Some(optimal),
         ) {
             Ok(structure) => {
                 let tp = steady_state_throughput(platform, &structure, model, slice_size);
@@ -84,7 +102,7 @@ pub fn evaluate_heuristics(
         };
         rows.push(row);
     }
-    Ok((optimal, rows))
+    rows
 }
 
 /// Mean and standard deviation of a slice of samples (used when aggregating

@@ -22,15 +22,34 @@
 //! separate, add the violated cuts and repeat; at termination the incumbent
 //! is feasible for the full LP and hence optimal.
 //!
+//! ## Cut purging and cut sharing
+//!
+//! Two refinements keep the master LP small on repeated / large solves:
+//!
+//! * **Purging** — a cut whose slack stayed strictly positive (non-binding)
+//!   for [`CutGenOptions::purge_after`] consecutive master rounds is dropped
+//!   from the master. Correctness is unaffected: termination is certified by
+//!   the separation oracle over *all* cuts (the per-destination max-flows),
+//!   not by the stored subset, and a purged cut that becomes violated again
+//!   is simply re-separated and reactivated.
+//! * **Sharing** — every cut is stored as a *node partition* (the source
+//!   side of the min cut), so binding cuts of one platform instance can seed
+//!   the master LP of another instance with the same node count (the sweep
+//!   harness chains instances of one parameter point this way). Any node set
+//!   containing the source and missing at least one node induces a valid
+//!   inequality `Σ_{e leaving S} n_e ≥ TP`, so stale seeds can never cut off
+//!   the optimum — at worst they are inactive rows.
+//!
 //! The per-edge loads `n_e` of the master's optimal solution are returned
-//! and feed the LP-based heuristics exactly as in the paper.
+//! and feed the LP-based heuristics exactly as in the paper; the binding
+//! cuts are returned alongside for reuse.
 
 use crate::error::CoreError;
 use crate::optimal::OptimalThroughput;
 use bcast_lp::{LpProblem, Sense, VarId};
 use bcast_net::{maxflow, NodeId};
 use bcast_platform::Platform;
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// Hard cap on the number of master-LP rounds; each round adds at least one
 /// new cut per violated destination, so realistic instances converge in a
@@ -40,63 +59,232 @@ const MAX_ROUNDS: usize = 400;
 /// Relative feasibility tolerance for the separation oracle.
 const SEPARATION_TOL: f64 = 1e-7;
 
-/// Solves the MTP optimal-throughput problem by cut generation.
+/// A source→destination cut stored as a node partition: `source_side[u]` is
+/// true when node `u` lies on the source side. The induced inequality is
+/// `Σ n_e ≥ TP` over the platform edges leaving the source side.
+///
+/// Storing the partition (rather than the edge set) makes cuts portable
+/// across platform instances with the same node count, which is how the
+/// sweep harness shares cuts between the instances of one parameter point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeCutSet {
+    /// Source-side membership, indexed by node.
+    pub source_side: Vec<bool>,
+}
+
+impl NodeCutSet {
+    /// The platform edges crossing the cut (source side → sink side),
+    /// as sorted, deduplicated raw edge indices.
+    pub fn crossing_edges(&self, platform: &Platform) -> Vec<u32> {
+        let mut edges: Vec<u32> = platform
+            .graph()
+            .edges()
+            .filter(|e| self.source_side[e.src.index()] && !self.source_side[e.dst.index()])
+            .map(|e| e.id.0)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// True when the partition is a meaningful cut for `platform` and
+    /// `source`: right length, source inside, at least one node outside.
+    pub fn is_valid_for(&self, platform: &Platform, source: NodeId) -> bool {
+        self.source_side.len() == platform.node_count()
+            && self.source_side[source.index()]
+            && self.source_side.iter().any(|&inside| !inside)
+    }
+}
+
+/// Options of the cut-generation solver.
+#[derive(Clone, Debug)]
+pub struct CutGenOptions {
+    /// Purge a cut after its slack stayed non-binding for this many
+    /// consecutive master rounds; `None` disables purging.
+    pub purge_after: Option<usize>,
+    /// Node cuts used to seed the master LP (typically the binding cuts of a
+    /// previously solved instance with the same node count). Invalid entries
+    /// (wrong length, source outside, empty sink side) are ignored.
+    pub seed_cuts: Vec<NodeCutSet>,
+}
+
+impl Default for CutGenOptions {
+    fn default() -> Self {
+        CutGenOptions {
+            purge_after: Some(2),
+            seed_cuts: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of [`solve_with`]: the optimal solution plus the cuts that were
+/// binding at the optimum (for seeding subsequent solves).
+#[derive(Clone, Debug)]
+pub struct CutGenResult {
+    /// The optimal throughput, loads, and solver statistics.
+    pub optimal: OptimalThroughput,
+    /// Cuts with (near-)zero slack at the optimum, as node partitions.
+    pub binding_cuts: Vec<NodeCutSet>,
+}
+
+/// One stored cut of the master LP.
+struct Cut {
+    /// Node partition the cut came from.
+    side: Vec<bool>,
+    /// Crossing platform edges (sorted raw indices) — the dedup key.
+    edges: Vec<u32>,
+    /// Consecutive master rounds with strictly positive slack.
+    non_binding_streak: usize,
+    /// False once purged (until re-separated).
+    active: bool,
+}
+
+/// Solves the MTP optimal-throughput problem by cut generation with default
+/// options (purging enabled, no seed cuts).
 pub fn solve(
     platform: &Platform,
     source: NodeId,
     slice_size: f64,
 ) -> Result<OptimalThroughput, CoreError> {
+    solve_with(platform, source, slice_size, &CutGenOptions::default()).map(|r| r.optimal)
+}
+
+/// Solves the MTP optimal-throughput problem by cut generation.
+pub fn solve_with(
+    platform: &Platform,
+    source: NodeId,
+    slice_size: f64,
+    options: &CutGenOptions,
+) -> Result<CutGenResult, CoreError> {
     let graph = platform.graph();
+    let n = platform.node_count();
     let m = platform.edge_count();
+    if n == 0 {
+        return Err(CoreError::EmptyPlatform);
+    }
+    // Guard infeasible platforms explicitly: an unreachable destination has
+    // only *empty* violated cuts, which the partition bookkeeping below
+    // skips, so without this check the solver would terminate claiming a
+    // positive throughput for an impossible broadcast. (Callers going
+    // through `optimal_throughput` are pre-checked; direct callers — the
+    // sweep harness, `table_sched` — are not.)
+    if !platform.is_broadcast_feasible(source) {
+        return Err(CoreError::Unreachable { source });
+    }
     let destinations: Vec<NodeId> = platform.nodes().filter(|&u| u != source).collect();
+    if destinations.is_empty() {
+        // Single processor: nothing to broadcast.
+        return Ok(CutGenResult {
+            optimal: OptimalThroughput {
+                throughput: f64::INFINITY,
+                edge_load: vec![0.0; m],
+                iterations: 0,
+                cuts: 0,
+                purged_cuts: 0,
+            },
+            binding_cuts: Vec::new(),
+        });
+    }
 
-    // Master LP over (TP, n).
-    let mut lp = LpProblem::new(Sense::Maximize);
-    let tp = lp.add_var("TP", 1.0);
-    let n_vars: Vec<VarId> = (0..m).map(|e| lp.add_var(format!("n_{e}"), 0.0)).collect();
-
-    // One-port constraints (they subsume the per-edge constraint n_e·T_e ≤ 1).
+    // Base master LP over (TP, n): objective plus the one-port constraints
+    // (they subsume the per-edge constraint n_e·T_e ≤ 1). Cut rows are
+    // re-appended to a clone of this base every round, which is what makes
+    // purging trivial.
+    let mut base = LpProblem::new(Sense::Maximize);
+    let tp = base.add_var("TP", 1.0);
+    let n_vars: Vec<VarId> = (0..m)
+        .map(|e| base.add_var(format!("n_{e}"), 0.0))
+        .collect();
     for u in platform.nodes() {
         let out_terms: Vec<(VarId, f64)> = graph
             .out_edges(u)
             .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
             .collect();
         if !out_terms.is_empty() {
-            lp.add_le(&out_terms, 1.0);
+            base.add_le(&out_terms, 1.0);
         }
         let in_terms: Vec<(VarId, f64)> = graph
             .in_edges(u)
             .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
             .collect();
         if !in_terms.is_empty() {
-            lp.add_le(&in_terms, 1.0);
+            base.add_le(&in_terms, 1.0);
         }
     }
 
-    // Seed cuts: the out-edges of the source separate it from every
-    // destination; the in-edges of each destination separate it from the rest.
-    let mut seen_cuts: HashSet<Vec<u32>> = HashSet::new();
-    let mut add_cut = |lp: &mut LpProblem, edges: &[bcast_net::EdgeId]| -> bool {
-        let mut key: Vec<u32> = edges.iter().map(|e| e.0).collect();
-        key.sort_unstable();
-        key.dedup();
-        if !seen_cuts.insert(key.clone()) {
+    let mut cuts: Vec<Cut> = Vec::new();
+    let mut index_by_edges: HashMap<Vec<u32>, usize> = HashMap::new();
+    // Adds (or reactivates) the cut induced by `side`; returns true when the
+    // master gained a row it did not have in its previous solve.
+    let add_cut = |cuts: &mut Vec<Cut>,
+                   index_by_edges: &mut HashMap<Vec<u32>, usize>,
+                   side: Vec<bool>|
+     -> bool {
+        let probe = NodeCutSet {
+            source_side: side.clone(),
+        };
+        if !probe.is_valid_for(platform, source) {
             return false;
         }
-        let mut terms: Vec<(VarId, f64)> = key.iter().map(|&e| (n_vars[e as usize], 1.0)).collect();
-        terms.push((tp, -1.0));
-        lp.add_ge(&terms, 0.0);
-        true
+        let edges = probe.crossing_edges(platform);
+        if edges.is_empty() {
+            return false;
+        }
+        match index_by_edges.get(&edges) {
+            Some(&i) => {
+                if cuts[i].active {
+                    false
+                } else {
+                    cuts[i].active = true;
+                    cuts[i].non_binding_streak = 0;
+                    true
+                }
+            }
+            None => {
+                index_by_edges.insert(edges.clone(), cuts.len());
+                cuts.push(Cut {
+                    side,
+                    edges,
+                    non_binding_streak: 0,
+                    active: true,
+                });
+                true
+            }
+        }
     };
-    let source_cut: Vec<bcast_net::EdgeId> = graph.out_edges(source).map(|e| e.id).collect();
-    add_cut(&mut lp, &source_cut);
+
+    // Seed cuts: the trivial partitions around the source and around each
+    // destination, plus whatever the caller carried over from a previous
+    // instance.
+    let mut source_only = vec![false; n];
+    source_only[source.index()] = true;
+    add_cut(&mut cuts, &mut index_by_edges, source_only);
     for w in &destinations {
-        let dest_cut: Vec<bcast_net::EdgeId> = graph.in_edges(*w).map(|e| e.id).collect();
-        add_cut(&mut lp, &dest_cut);
+        let mut all_but_w = vec![true; n];
+        all_but_w[w.index()] = false;
+        add_cut(&mut cuts, &mut index_by_edges, all_but_w);
+    }
+    for seed in &options.seed_cuts {
+        add_cut(&mut cuts, &mut index_by_edges, seed.source_side.clone());
     }
 
+    let solve_master = |cuts: &[Cut]| -> Result<bcast_lp::LpSolution, CoreError> {
+        let mut lp = base.clone();
+        for cut in cuts.iter().filter(|c| c.active) {
+            let mut terms: Vec<(VarId, f64)> = cut
+                .edges
+                .iter()
+                .map(|&e| (n_vars[e as usize], 1.0))
+                .collect();
+            terms.push((tp, -1.0));
+            lp.add_ge(&terms, 0.0);
+        }
+        lp.solve().map_err(CoreError::Lp)
+    };
+
     let mut rounds = 0usize;
-    let mut last_solution = lp.solve().map_err(CoreError::Lp)?;
+    let mut purged = 0usize;
+    let mut last_solution = solve_master(&cuts)?;
     loop {
         rounds += 1;
         let tp_value = last_solution.value(tp);
@@ -110,26 +298,53 @@ pub fn solve(
                 // The violated constraint is over the *platform* edges crossing
                 // the min-cut partition — including edges whose current load is
                 // zero (they are precisely the ones the master may increase).
-                let cut: Vec<bcast_net::EdgeId> = graph
-                    .edges()
-                    .filter(|e| flow.source_side[e.src.index()] && !flow.source_side[e.dst.index()])
-                    .map(|e| e.id)
-                    .collect();
-                if add_cut(&mut lp, &cut) {
+                if add_cut(&mut cuts, &mut index_by_edges, flow.source_side) {
                     new_cuts += 1;
                 }
             }
         }
         if new_cuts == 0 || rounds >= MAX_ROUNDS {
-            return Ok(OptimalThroughput {
-                throughput: tp_value,
-                edge_load: loads,
-                iterations: rounds,
-                cuts: seen_cuts.len(),
+            let binding_cuts = cuts
+                .iter()
+                .filter(|c| c.active && cut_slack(c, &loads, tp_value) <= tol)
+                .map(|c| NodeCutSet {
+                    source_side: c.side.clone(),
+                })
+                .collect();
+            return Ok(CutGenResult {
+                optimal: OptimalThroughput {
+                    throughput: tp_value,
+                    edge_load: loads,
+                    iterations: rounds,
+                    cuts: cuts.len(),
+                    purged_cuts: purged,
+                },
+                binding_cuts,
             });
         }
-        last_solution = lp.solve().map_err(CoreError::Lp)?;
+        // Purge cuts whose slack stayed non-binding for `purge_after`
+        // consecutive rounds (counted on the rounds where they were priced).
+        if let Some(limit) = options.purge_after {
+            for cut in cuts.iter_mut().filter(|c| c.active) {
+                if cut_slack(cut, &loads, tp_value) > tol {
+                    cut.non_binding_streak += 1;
+                    if cut.non_binding_streak >= limit {
+                        cut.active = false;
+                        cut.non_binding_streak = 0;
+                        purged += 1;
+                    }
+                } else {
+                    cut.non_binding_streak = 0;
+                }
+            }
+        }
+        last_solution = solve_master(&cuts)?;
     }
+}
+
+/// Slack of a cut at the point `(loads, tp)`: `Σ_{e ∈ cut} n_e − TP`.
+fn cut_slack(cut: &Cut, loads: &[f64], tp: f64) -> f64 {
+    cut.edges.iter().map(|&e| loads[e as usize]).sum::<f64>() - tp
 }
 
 #[cfg(test)]
@@ -194,5 +409,129 @@ mod tests {
         let o = solve(&platform, NodeId(0), 1.0e6).unwrap();
         assert!(o.throughput > 0.0);
         assert!(o.iterations < MAX_ROUNDS, "rounds = {}", o.iterations);
+    }
+
+    #[test]
+    fn purging_preserves_the_optimum() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let platform = random_platform(&RandomPlatformConfig::paper(20, 0.12), &mut rng);
+        let purged = solve_with(
+            &platform,
+            NodeId(0),
+            1.0e6,
+            &CutGenOptions {
+                purge_after: Some(2),
+                seed_cuts: Vec::new(),
+            },
+        )
+        .unwrap();
+        let kept = solve_with(
+            &platform,
+            NodeId(0),
+            1.0e6,
+            &CutGenOptions {
+                purge_after: None,
+                seed_cuts: Vec::new(),
+            },
+        )
+        .unwrap();
+        assert!(
+            (purged.optimal.throughput - kept.optimal.throughput).abs()
+                <= 1e-6 * kept.optimal.throughput,
+            "purged {} vs kept {}",
+            purged.optimal.throughput,
+            kept.optimal.throughput
+        );
+        assert_eq!(kept.optimal.purged_cuts, 0);
+    }
+
+    #[test]
+    fn binding_cuts_are_tight_and_reusable_as_seeds() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let platform = random_platform(&RandomPlatformConfig::paper(14, 0.12), &mut rng);
+        let first = solve_with(&platform, NodeId(0), 1.0e6, &CutGenOptions::default()).unwrap();
+        assert!(!first.binding_cuts.is_empty());
+        for cut in &first.binding_cuts {
+            assert!(cut.is_valid_for(&platform, NodeId(0)));
+            let capacity: f64 = cut
+                .crossing_edges(&platform)
+                .iter()
+                .map(|&e| first.optimal.edge_load[e as usize])
+                .sum();
+            assert!(
+                capacity <= first.optimal.throughput * (1.0 + 1e-5),
+                "cut is not tight: {capacity} vs {}",
+                first.optimal.throughput
+            );
+        }
+        // A *different* instance of the same family/size accepts the cuts as
+        // seeds and reaches the same optimum as an unseeded solve.
+        let platform2 = random_platform(&RandomPlatformConfig::paper(14, 0.12), &mut rng);
+        let seeded = solve_with(
+            &platform2,
+            NodeId(0),
+            1.0e6,
+            &CutGenOptions {
+                purge_after: Some(2),
+                seed_cuts: first.binding_cuts.clone(),
+            },
+        )
+        .unwrap();
+        let unseeded = solve(&platform2, NodeId(0), 1.0e6).unwrap();
+        assert!(
+            (seeded.optimal.throughput - unseeded.throughput).abs()
+                <= 1e-6 * unseeded.throughput.max(1e-12),
+            "seeded {} vs unseeded {}",
+            seeded.optimal.throughput,
+            unseeded.throughput
+        );
+    }
+
+    #[test]
+    fn infeasible_and_trivial_platforms_are_handled() {
+        // Unreachable destination: explicit error, not a bogus throughput.
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let err = solve_with(&platform, NodeId(0), 1.0, &CutGenOptions::default()).unwrap_err();
+        assert_eq!(err, CoreError::Unreachable { source: NodeId(0) });
+        // Single processor: infinite throughput, like `optimal_throughput`.
+        let mut b = Platform::builder();
+        b.add_processor("only");
+        let single = b.build();
+        let r = solve_with(&single, NodeId(0), 1.0, &CutGenOptions::default()).unwrap();
+        assert!(r.optimal.throughput.is_infinite());
+    }
+
+    #[test]
+    fn invalid_seed_cuts_are_ignored() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let bogus = vec![
+            NodeCutSet {
+                source_side: vec![true; 7], // wrong length
+            },
+            NodeCutSet {
+                source_side: vec![false, true, true], // source outside
+            },
+            NodeCutSet {
+                source_side: vec![true, true, true], // nothing outside
+            },
+        ];
+        let r = solve_with(
+            &platform,
+            NodeId(0),
+            1.0,
+            &CutGenOptions {
+                purge_after: Some(2),
+                seed_cuts: bogus,
+            },
+        )
+        .unwrap();
+        assert!((r.optimal.throughput - 0.5).abs() < 1e-6);
     }
 }

@@ -129,6 +129,7 @@ pub fn solve(
         edge_load,
         iterations: solution.iterations,
         cuts: 0,
+        purged_cuts: 0,
     })
 }
 

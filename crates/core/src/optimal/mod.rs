@@ -22,6 +22,8 @@
 pub mod cut_gen;
 pub mod direct_lp;
 
+pub use cut_gen::{CutGenOptions, CutGenResult, NodeCutSet};
+
 use crate::error::CoreError;
 use bcast_net::NodeId;
 use bcast_platform::Platform;
@@ -48,6 +50,9 @@ pub struct OptimalThroughput {
     pub iterations: usize,
     /// Number of cut constraints generated (0 for the direct LP).
     pub cuts: usize,
+    /// Number of cuts purged from the master LP after staying non-binding
+    /// (0 for the direct LP or when purging is disabled).
+    pub purged_cuts: usize,
 }
 
 impl OptimalThroughput {
@@ -78,6 +83,7 @@ pub fn optimal_throughput(
             edge_load: vec![0.0; platform.edge_count()],
             iterations: 0,
             cuts: 0,
+            purged_cuts: 0,
         });
     }
     if !platform.is_broadcast_feasible(source) {

@@ -7,6 +7,9 @@
 //! 3. **Multi-port overlap sensitivity** — the paper fixes
 //!    `send_u = 0.8 · min_w T_{u,w}` and claims the results "do not strongly
 //!    depend" on the factor; we sweep it.
+//! 4. **Schedule resolution** — the batch size `B` of the synthesized
+//!    periodic schedule trades rounding loss (`≈ TP·D/B`) against schedule
+//!    size; we sweep `B` and report the achieved fraction of the LP bound.
 //!
 //! ```text
 //! cargo run --release -p bcast-experiments --bin ablation -- [--configs N] [--seed S]
@@ -20,6 +23,7 @@ use bcast_experiments::{AsciiTable, ExperimentArgs};
 use bcast_net::NodeId;
 use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
 use bcast_platform::CommModel;
+use bcast_sched::{synthesize_schedule, SynthesisConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -31,6 +35,7 @@ fn main() {
     solver_ablation(&args);
     pruning_metric_ablation(&args);
     overlap_sensitivity(&args);
+    schedule_resolution(&args);
 }
 
 /// Ablation 1: direct LP vs cut generation.
@@ -144,6 +149,51 @@ fn overlap_sensitivity(args: &ExperimentArgs) {
             format!("{overlap:.2}"),
             format!("{mean:.3}"),
             format!("{dev:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Ablation 4: batch-size resolution of the synthesized periodic schedule.
+fn schedule_resolution(args: &ExperimentArgs) {
+    println!("Ablation 4 — schedule batch size B vs achieved fraction of the LP bound (20 nodes)");
+    let mut table = AsciiTable::new(vec![
+        "B",
+        "schedule/LP",
+        "deviation",
+        "rounds",
+        "loss bound",
+    ]);
+    for &batch in &[8usize, 16, 32, 64] {
+        let mut rel = Vec::new();
+        let mut rounds = Vec::new();
+        let mut bound: f64 = 0.0;
+        for instance in 0..args.configs {
+            let mut rng = StdRng::seed_from_u64(args.seed + 31 * instance as u64);
+            let platform = random_platform(&RandomPlatformConfig::paper(20, 0.12), &mut rng);
+            let optimal =
+                optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+                    .unwrap();
+            let schedule = synthesize_schedule(
+                &platform,
+                NodeId(0),
+                &optimal,
+                SLICE,
+                &SynthesisConfig::with_batch(batch),
+            )
+            .unwrap();
+            rel.push(schedule.efficiency());
+            rounds.push(schedule.rounds().len() as f64);
+            bound = bound.max(schedule.rounding().loss_bound);
+        }
+        let (mean, dev) = mean_and_deviation(&rel);
+        let (rounds_mean, _) = mean_and_deviation(&rounds);
+        table.add_row(vec![
+            batch.to_string(),
+            format!("{mean:.3}"),
+            format!("{dev:.3}"),
+            format!("{rounds_mean:.0}"),
+            format!("{bound:.3}"),
         ]);
     }
     println!("{}", table.render());

@@ -1,13 +1,22 @@
 //! Parameter sweeps over randomly generated and Tiers-like platforms.
 //!
-//! A sweep enumerates `(parameter point) × (instance index)` jobs, generates
-//! the corresponding platform deterministically from `seed + instance`, runs
-//! [`bcast_core::evaluation::evaluate_heuristics`] on it and collects one
-//! [`SweepRecord`] per heuristic. Jobs are distributed over worker threads
-//! with `std::thread::scope` (the work is embarrassingly parallel).
+//! A sweep enumerates parameter points, generates `configs_per_point`
+//! platforms per point deterministically from the seed, runs
+//! [`bcast_core::evaluation::evaluate_heuristics_with_optimal`] on each and
+//! collects one [`SweepRecord`] per heuristic. The instances of one point
+//! are split into fixed-length *chains*; within a chain the instances run
+//! sequentially so the binding cuts of each cut-generation solve can seed
+//! the master LP of the next instance (same node count → the
+//! node-partition cuts transfer). Chains are the unit distributed over
+//! `std::thread::scope` workers, which keeps the sweep embarrassingly
+//! parallel (a point with 100 instances yields 25 independent chains)
+//! while staying fully deterministic: a chain's results depend only on the
+//! instance order inside it, never on thread interleaving.
 
-use bcast_core::evaluation::{evaluate_heuristics, mean_and_deviation};
+use bcast_core::evaluation::{evaluate_heuristics_with_optimal, mean_and_deviation};
 use bcast_core::heuristics::HeuristicKind;
+use bcast_core::optimal::cut_gen;
+use bcast_core::{CutGenOptions, NodeCutSet};
 use bcast_net::NodeId;
 use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
 use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
@@ -125,12 +134,10 @@ fn default_threads() -> usize {
 /// Runs a sweep over random platforms and returns one record per
 /// `(point, instance, heuristic)`.
 pub fn random_sweep(config: &RandomSweepConfig) -> Vec<SweepRecord> {
-    let mut jobs: Vec<(SweepPoint, usize)> = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
     for &nodes in &config.node_counts {
         for &density in &config.densities {
-            for instance in 0..config.configs_per_point {
-                jobs.push((SweepPoint { nodes, density }, instance));
-            }
+            points.push(SweepPoint { nodes, density });
         }
     }
     let model = config.model;
@@ -138,7 +145,8 @@ pub fn random_sweep(config: &RandomSweepConfig) -> Vec<SweepRecord> {
     let overlap = config.multiport_overlap;
     let slice = config.slice_size;
     let seed = config.seed;
-    run_jobs(&jobs, config.threads, move |point, instance| {
+    let configs = config.configs_per_point;
+    run_points(&points, configs, config.threads, move |point, instance| {
         let instance_seed = seed
             .wrapping_add((point.nodes as u64) << 32)
             .wrapping_add((point.density * 1000.0) as u64)
@@ -150,24 +158,26 @@ pub fn random_sweep(config: &RandomSweepConfig) -> Vec<SweepRecord> {
         if let Some(overlap) = overlap {
             platform = platform.with_multiport_overheads(overlap, slice);
         }
-        evaluate_instance(&platform, point, instance, model, slice, &heuristics)
+        (platform, model, slice, heuristics.clone())
     })
 }
 
 /// Runs a sweep over Tiers-like platforms.
 pub fn tiers_sweep(config: &TiersSweepConfig) -> Vec<SweepRecord> {
-    let mut jobs: Vec<(SweepPoint, usize)> = Vec::new();
-    for &nodes in &config.node_counts {
-        let density = if nodes <= 40 { 0.10 } else { 0.06 };
-        for instance in 0..config.configs_per_point {
-            jobs.push((SweepPoint { nodes, density }, instance));
-        }
-    }
+    let points: Vec<SweepPoint> = config
+        .node_counts
+        .iter()
+        .map(|&nodes| SweepPoint {
+            nodes,
+            density: if nodes <= 40 { 0.10 } else { 0.06 },
+        })
+        .collect();
     let model = config.model;
     let heuristics = config.heuristics.clone();
     let slice = config.slice_size;
     let seed = config.seed;
-    run_jobs(&jobs, config.threads, move |point, instance| {
+    let configs = config.configs_per_point;
+    run_points(&points, configs, config.threads, move |point, instance| {
         let instance_seed = seed
             .wrapping_add((point.nodes as u64) << 24)
             .wrapping_mul(998_244_353)
@@ -175,11 +185,13 @@ pub fn tiers_sweep(config: &TiersSweepConfig) -> Vec<SweepRecord> {
         let mut rng = StdRng::seed_from_u64(instance_seed);
         let cfg = TiersConfig::paper(point.nodes, point.density);
         let platform = tiers_platform(&cfg, &mut rng);
-        evaluate_instance(&platform, point, instance, model, slice, &heuristics)
+        (platform, model, slice, heuristics.clone())
     })
 }
 
-/// Evaluates all heuristics on one platform instance.
+/// Evaluates all heuristics on one platform instance, seeding the
+/// cut-generation master LP with the previous instance's binding cuts and
+/// returning the new binding cuts for the next instance in the chain.
 fn evaluate_instance(
     platform: &Platform,
     point: SweepPoint,
@@ -187,54 +199,106 @@ fn evaluate_instance(
     model: CommModel,
     slice: f64,
     heuristics: &[HeuristicKind],
-) -> Vec<SweepRecord> {
-    match evaluate_heuristics(platform, NodeId(0), model, slice, heuristics) {
-        Ok((optimal, rows)) => rows
-            .into_iter()
-            .map(|row| SweepRecord {
-                point,
-                instance,
-                heuristic: row.heuristic,
-                throughput: row.throughput,
-                relative: row.relative,
-                optimal: optimal.throughput,
-            })
-            .collect(),
+    seed_cuts: Vec<NodeCutSet>,
+) -> (Vec<SweepRecord>, Vec<NodeCutSet>) {
+    let options = CutGenOptions {
+        seed_cuts,
+        ..CutGenOptions::default()
+    };
+    match cut_gen::solve_with(platform, NodeId(0), slice, &options) {
+        Ok(result) => {
+            let rows = evaluate_heuristics_with_optimal(
+                platform,
+                NodeId(0),
+                model,
+                slice,
+                heuristics,
+                &result.optimal,
+            );
+            let records = rows
+                .into_iter()
+                .map(|row| SweepRecord {
+                    point,
+                    instance,
+                    heuristic: row.heuristic,
+                    throughput: row.throughput,
+                    relative: row.relative,
+                    optimal: result.optimal.throughput,
+                })
+                .collect();
+            (records, result.binding_cuts)
+        }
         Err(error) => {
             eprintln!("warning: skipping instance {instance} of point {point:?}: {error}");
-            Vec::new()
+            (Vec::new(), Vec::new())
         }
     }
 }
 
-/// Distributes `jobs` over `threads` workers; `work` maps one job to its
-/// records. Results are returned in a deterministic order (sorted by job
-/// index) so repeated runs with the same seed produce identical output.
-fn run_jobs<F>(jobs: &[(SweepPoint, usize)], threads: usize, work: F) -> Vec<SweepRecord>
+/// Instances per cut-sharing chain: long enough for the warm start to pay
+/// off, short enough that a point with many instances still fans out over
+/// all workers (100 instances → 25 independent chains).
+const CHAIN_LEN: usize = 4;
+
+/// Distributes `(point, instance-chain)` jobs over `threads` workers. Each
+/// chain runs its up-to-[`CHAIN_LEN`] instances sequentially (generating
+/// the platform with `generate`), carrying the binding cuts from one
+/// instance into the next. Results are returned sorted by
+/// `(point index, instance)` so repeated runs with the same seed produce
+/// identical output regardless of thread interleaving.
+#[allow(clippy::type_complexity)]
+fn run_points<G>(
+    points: &[SweepPoint],
+    configs: usize,
+    threads: usize,
+    generate: G,
+) -> Vec<SweepRecord>
 where
-    F: Fn(SweepPoint, usize) -> Vec<SweepRecord> + Sync,
+    G: Fn(SweepPoint, usize) -> (Platform, CommModel, f64, Vec<HeuristicKind>) + Sync,
 {
+    let mut jobs: Vec<(usize, usize)> = Vec::new(); // (point index, first instance)
+    for point in 0..points.len() {
+        for start in (0..configs).step_by(CHAIN_LEN.max(1)) {
+            jobs.push((point, start));
+        }
+    }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, Vec<SweepRecord>)>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<((usize, usize), Vec<SweepRecord>)>> = Mutex::new(Vec::new());
     let workers = threads.clamp(1, jobs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= jobs.len() {
+                let job = next.fetch_add(1, Ordering::Relaxed);
+                if job >= jobs.len() {
                     break;
                 }
-                let (point, instance) = jobs[index];
-                let records = work(point, instance);
+                let (point_index, start) = jobs[job];
+                let point = points[point_index];
+                let mut records = Vec::new();
+                let mut carried_cuts: Vec<NodeCutSet> = Vec::new();
+                for instance in start..(start + CHAIN_LEN).min(configs) {
+                    let (platform, model, slice, heuristics) = generate(point, instance);
+                    let (mut instance_records, binding) = evaluate_instance(
+                        &platform,
+                        point,
+                        instance,
+                        model,
+                        slice,
+                        &heuristics,
+                        carried_cuts,
+                    );
+                    records.append(&mut instance_records);
+                    carried_cuts = binding;
+                }
                 results
                     .lock()
                     .expect("poisoned results")
-                    .push((index, records));
+                    .push(((point_index, start), records));
             });
         }
     });
     let mut indexed = results.into_inner().expect("poisoned results");
-    indexed.sort_by_key(|(index, _)| *index);
+    indexed.sort_by_key(|(key, _)| *key);
     indexed.into_iter().flat_map(|(_, r)| r).collect()
 }
 
@@ -329,6 +393,51 @@ mod tests {
             assert_eq!(nodes, 8);
             assert!(mean > 0.0 && mean <= 1.0 + 1e-6);
             assert!(dev >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cut_sharing_preserves_the_optimal_values() {
+        // The chained (cut-seeded) solves must reach the same optimum as a
+        // fresh unseeded solve of each instance: seeding only warm-starts
+        // the master LP, it cannot change the LP's optimal value.
+        use bcast_core::{optimal_throughput, OptimalMethod};
+        let cfg = RandomSweepConfig {
+            node_counts: vec![10],
+            densities: vec![0.15],
+            configs_per_point: 3,
+            heuristics: vec![HeuristicKind::GrowTree],
+            threads: 1,
+            ..RandomSweepConfig::default()
+        };
+        let records = random_sweep(&cfg);
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            let instance_seed = cfg
+                .seed
+                .wrapping_add((r.point.nodes as u64) << 32)
+                .wrapping_add((r.point.density * 1000.0) as u64)
+                .wrapping_mul(1_000_003)
+                .wrapping_add(r.instance as u64);
+            let mut rng = StdRng::seed_from_u64(instance_seed);
+            let platform = random_platform(
+                &RandomPlatformConfig::paper(r.point.nodes, r.point.density),
+                &mut rng,
+            );
+            let fresh = optimal_throughput(
+                &platform,
+                NodeId(0),
+                cfg.slice_size,
+                OptimalMethod::CutGeneration,
+            )
+            .unwrap();
+            assert!(
+                (r.optimal - fresh.throughput).abs() <= 1e-6 * fresh.throughput,
+                "instance {}: chained {} vs fresh {}",
+                r.instance,
+                r.optimal,
+                fresh.throughput
+            );
         }
     }
 

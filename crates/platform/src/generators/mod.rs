@@ -6,12 +6,17 @@
 //! * [`tiers`] — a re-implementation of a *Tiers*-style hierarchical
 //!   Internet topology (WAN / MAN / LAN), standing in for the original
 //!   Tiers generator of Calvert, Doar and Zegura used by the paper.
+//! * [`gaussian_field`] — clustered geometric platforms: Gaussian-scattered
+//!   clusters in the unit square with distance-decaying bandwidths, a
+//!   heterogeneity profile where bandwidth correlates with topology.
 //! * [`gaussian`] — a small Box–Muller normal sampler so the crate only
 //!   depends on `rand`'s uniform primitives.
 
 pub mod gaussian;
+pub mod gaussian_field;
 pub mod random;
 pub mod tiers;
 
+pub use gaussian_field::{gaussian_platform, GaussianPlatformConfig};
 pub use random::{random_platform, RandomPlatformConfig};
 pub use tiers::{tiers_platform, TiersConfig};

@@ -1,0 +1,453 @@
+//! # bcast-sched — periodic steady-state schedule synthesis
+//!
+//! The optimal-throughput LP of the paper (and the cut-generation solver in
+//! `bcast-core`) produces per-edge loads `n_e` — how many slices should
+//! cross each link per time unit — but a load vector is not something a
+//! platform can *execute*. Steady-state scheduling theory says the LP
+//! solution can always be materialised as a **periodic schedule**, and the
+//! multiple-tree streaming literature shows why that matters: a weighted
+//! set of trees beats any single tree. This crate closes the loop
+//! LP → schedule → simulator:
+//!
+//! 1. **Rationalise** ([`rounding`]) — scale the loads to integers
+//!    `c_e = ⌈n_e·B/TP⌉` for a batch of `B` slices per period, with a
+//!    guaranteed throughput-loss bound `TP·D/B` (see the module docs), and
+//!    repair any floating-point-induced under-capacity with integer
+//!    max-flows.
+//! 2. **Pack** ([`packing`]) — decompose the integer load multigraph into
+//!    `B` spanning arborescences (Edmonds' theorem, constructive à la
+//!    Lovász): batch slice `j` travels along tree `j`, so every processor
+//!    receives every slice exactly once per period.
+//! 3. **Schedule** ([`schedule`]) — peel the period's transfers into
+//!    one-port-feasible communication rounds (greedy Birkhoff–von-Neumann
+//!    matchings by decreasing duration; a multi-port variant only
+//!    serialises the sender overheads), timetable them without barriers,
+//!    and assign inter-period lags so causality holds.
+//!
+//! The result is a [`PeriodicSchedule`]: rounds, per-transfer start
+//! offsets, achieved period, and per-node port utilisation. `bcast-sim`
+//! replays it (`simulate_schedule`) so the synthesized schedule's simulated
+//! throughput can be checked against the LP bound — the `table_sched`
+//! experiment does exactly that against the single-tree heuristics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod packing;
+pub mod rounding;
+pub mod schedule;
+
+pub use error::SchedError;
+pub use packing::pack_arborescences;
+pub use rounding::{round_loads, RoundedLoads, RoundingConfig};
+pub use schedule::{PeriodicSchedule, ScheduleRound, ScheduledTransfer};
+
+use bcast_core::{BroadcastStructure, OptimalThroughput};
+use bcast_net::NodeId;
+use bcast_platform::{CommModel, Platform};
+
+/// Options of [`synthesize_schedule`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SynthesisConfig {
+    /// Port model the timetable is built for ([`CommModel::OnePort`] or
+    /// [`CommModel::MultiPort`]).
+    pub model: CommModel,
+    /// Batch-size selection (see [`RoundingConfig`]).
+    pub rounding: RoundingConfig,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            model: CommModel::OnePort,
+            rounding: RoundingConfig::default(),
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// A configuration with a fixed batch size `B`.
+    pub fn with_batch(batch: usize) -> Self {
+        SynthesisConfig {
+            rounding: RoundingConfig {
+                slices_per_period: Some(batch),
+                ..RoundingConfig::default()
+            },
+            ..SynthesisConfig::default()
+        }
+    }
+}
+
+/// Synthesizes a periodic steady-state schedule realising the optimal edge
+/// loads of `optimal` on `platform`.
+///
+/// `slice_size` must match the slice size the LP was solved for (the loads
+/// are in slices per time unit for that size).
+pub fn synthesize_schedule(
+    platform: &Platform,
+    source: NodeId,
+    optimal: &OptimalThroughput,
+    slice_size: f64,
+    config: &SynthesisConfig,
+) -> Result<PeriodicSchedule, SchedError> {
+    if platform.node_count() == 0 {
+        return Err(SchedError::EmptyPlatform);
+    }
+    if matches!(config.model, CommModel::OnePortUnidirectional) {
+        return Err(SchedError::UnsupportedModel);
+    }
+    if platform.node_count() == 1 {
+        return Ok(schedule::trivial(
+            source,
+            config.model,
+            slice_size,
+            optimal.throughput,
+        ));
+    }
+    if !platform.is_broadcast_feasible(source) {
+        return Err(SchedError::Unreachable { source });
+    }
+    let rounded = round_loads(
+        platform,
+        source,
+        &optimal.edge_load,
+        optimal.throughput,
+        slice_size,
+        &config.rounding,
+    )?;
+    let trees = pack_arborescences(
+        platform,
+        source,
+        &rounded.multiplicity,
+        rounded.slices_per_period,
+    )?;
+    let schedule = schedule::assemble(
+        platform,
+        source,
+        config.model,
+        slice_size,
+        optimal.throughput,
+        rounded,
+        trees,
+    );
+    debug_assert!(schedule.validate(platform).is_ok());
+    Ok(schedule)
+}
+
+/// Like [`synthesize_schedule`], but additionally considers each spanning
+/// tree in `candidates` as a degenerate one-tree periodic schedule
+/// (`B = 1`) and returns whichever schedule achieves the highest
+/// throughput.
+///
+/// A single tree *is* a valid periodic schedule, so the synthesizer should
+/// never hand back less than the best tree it is given: on platforms where
+/// some heuristic tree already attains the LP bound (chains and other
+/// tree-like topologies), the rounded multi-tree schedule can lose a
+/// percent or two to integer granularity while the tree is exact — this
+/// entry point makes the synthesized artifact dominate both worlds.
+pub fn synthesize_schedule_with_tree_fallback(
+    platform: &Platform,
+    source: NodeId,
+    optimal: &OptimalThroughput,
+    slice_size: f64,
+    config: &SynthesisConfig,
+    candidates: &[BroadcastStructure],
+) -> Result<PeriodicSchedule, SchedError> {
+    let mut best = synthesize_schedule(platform, source, optimal, slice_size, config)?;
+    if platform.node_count() <= 1 {
+        return Ok(best);
+    }
+    for structure in candidates {
+        if structure.source() != source {
+            continue;
+        }
+        // Only spanning arborescences qualify (the binomial overlay does
+        // not define a one-transfer-per-slice periodic schedule).
+        let Ok(arborescence) = structure.as_arborescence(platform) else {
+            continue;
+        };
+        // Parent-before-child edge order, as the assembler requires.
+        let mut edges = Vec::with_capacity(platform.node_count() - 1);
+        for &u in arborescence.bfs_order() {
+            edges.extend(arborescence.child_edges(u).iter().copied());
+        }
+        let mut usage = vec![0u32; platform.edge_count()];
+        for &e in &edges {
+            usage[e.index()] += 1;
+        }
+        // The tree's analytic period bound, for the rounding stats: the
+        // exact relative loss of this tree against the LP optimum.
+        let mut period_lb: f64 = 0.0;
+        for u in platform.nodes() {
+            let out: f64 = platform
+                .graph()
+                .out_edges(u)
+                .filter(|e| usage[e.id.index()] > 0)
+                .map(|e| e.payload.link_time(slice_size))
+                .sum();
+            let inc: f64 = platform
+                .graph()
+                .in_edges(u)
+                .filter(|e| usage[e.id.index()] > 0)
+                .map(|e| e.payload.link_time(slice_size))
+                .sum();
+            period_lb = period_lb.max(out).max(inc);
+        }
+        let rounding = RoundedLoads {
+            slices_per_period: 1,
+            multiplicity: usage,
+            ideal_period: 1.0 / optimal.throughput,
+            loss_bound: (period_lb * optimal.throughput - 1.0).max(0.0),
+            repairs: 0,
+        };
+        let candidate = schedule::assemble(
+            platform,
+            source,
+            config.model,
+            slice_size,
+            optimal.throughput,
+            rounding,
+            vec![edges],
+        );
+        debug_assert!(candidate.validate(platform).is_ok());
+        if candidate.throughput() > best.throughput() {
+            best = candidate;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_core::{optimal_throughput, OptimalMethod};
+    use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+    use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
+    use bcast_platform::LinkCost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SLICE: f64 = 1.0e6;
+
+    fn synthesize(platform: &Platform, config: &SynthesisConfig) -> PeriodicSchedule {
+        let optimal =
+            optimal_throughput(platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+        let schedule = synthesize_schedule(platform, NodeId(0), &optimal, SLICE, config).unwrap();
+        schedule.validate(platform).unwrap();
+        schedule
+    }
+
+    #[test]
+    fn triangle_schedule_reaches_the_lp_bound() {
+        // Full triangle over unit links: TP = 1, realised by two alternating
+        // trees (0→1→2 and 0→2→1) — the classic case where any single tree
+        // loses and the multi-tree schedule does not.
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let schedule = synthesize(&platform, &SynthesisConfig::with_batch(2));
+        assert_eq!(schedule.slices_per_period(), 2);
+        assert!(
+            schedule.efficiency() > 0.999,
+            "efficiency {} too low (period {}, ideal {})",
+            schedule.efficiency(),
+            schedule.period(),
+            schedule.rounding().ideal_period
+        );
+    }
+
+    #[test]
+    fn chain_schedule_is_exact() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(4);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 2.0));
+        b.add_bidirectional_link(p[2], p[3], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let schedule = synthesize(&platform, &SynthesisConfig::with_batch(4));
+        // The chain's optimum is the slowest link: a period of 2·SLICE
+        // seconds per slice, realised exactly (no rounding loss on a chain).
+        let expected = 1.0 / (2.0 * SLICE);
+        assert!(
+            (schedule.throughput() - expected).abs() < 1e-9 * expected,
+            "throughput {} vs expected {expected}",
+            schedule.throughput()
+        );
+    }
+
+    #[test]
+    fn random_platform_schedule_is_near_optimal() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let platform = random_platform(&RandomPlatformConfig::paper(16, 0.12), &mut rng);
+        let schedule = synthesize(&platform, &SynthesisConfig::default());
+        assert!(
+            schedule.efficiency() > 0.9,
+            "efficiency {} (loss bound {})",
+            schedule.efficiency(),
+            schedule.rounding().loss_bound
+        );
+        assert!(schedule.efficiency() <= 1.0 + 1e-9, "beats the LP bound");
+        // Port utilisation is a fraction.
+        for u in platform.nodes() {
+            let (s, r) = schedule.port_utilisation(u);
+            assert!((0.0..=1.0 + 1e-9).contains(&s));
+            assert!((0.0..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn tiers_platform_schedule_is_near_optimal() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let platform = tiers_platform(&TiersConfig::paper_30(), &mut rng);
+        let schedule = synthesize(&platform, &SynthesisConfig::default());
+        assert!(
+            schedule.efficiency() > 0.9,
+            "efficiency {}",
+            schedule.efficiency()
+        );
+    }
+
+    #[test]
+    fn multiport_timetable_overlaps_links() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let platform = random_platform(&RandomPlatformConfig::paper(10, 0.2), &mut rng)
+            .with_multiport_overheads(0.5, SLICE);
+        let optimal =
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+        let one = synthesize_schedule(
+            &platform,
+            NodeId(0),
+            &optimal,
+            SLICE,
+            &SynthesisConfig::with_batch(12),
+        )
+        .unwrap();
+        let multi = synthesize_schedule(
+            &platform,
+            NodeId(0),
+            &optimal,
+            SLICE,
+            &SynthesisConfig {
+                model: CommModel::MultiPort,
+                ..SynthesisConfig::with_batch(12)
+            },
+        )
+        .unwrap();
+        multi.validate(&platform).unwrap();
+        assert!(multi.period() <= one.period() + 1e-9);
+    }
+
+    #[test]
+    fn single_node_schedule_is_trivial() {
+        let mut b = Platform::builder();
+        b.add_processor("only");
+        let platform = b.build();
+        let optimal =
+            optimal_throughput(&platform, NodeId(0), 1.0, OptimalMethod::CutGeneration).unwrap();
+        let s = synthesize_schedule(
+            &platform,
+            NodeId(0),
+            &optimal,
+            1.0,
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(s.period(), 0.0);
+        assert!(s.throughput().is_infinite());
+        assert!(s.validate(&platform).is_ok());
+    }
+
+    #[test]
+    fn unidirectional_model_is_rejected() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(2);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let optimal =
+            optimal_throughput(&platform, NodeId(0), 1.0, OptimalMethod::CutGeneration).unwrap();
+        let err = synthesize_schedule(
+            &platform,
+            NodeId(0),
+            &optimal,
+            1.0,
+            &SynthesisConfig {
+                model: CommModel::OnePortUnidirectional,
+                ..SynthesisConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SchedError::UnsupportedModel);
+    }
+
+    #[test]
+    fn tree_fallback_dominates_both_worlds() {
+        use bcast_core::heuristics::{build_structure_with_loads, HeuristicKind};
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..3 {
+            let platform = random_platform(&RandomPlatformConfig::paper(14, 0.12), &mut rng);
+            let optimal =
+                optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+                    .unwrap();
+            let mut candidates = Vec::new();
+            let mut best_tree_tp: f64 = 0.0;
+            for kind in HeuristicKind::ALL {
+                if let Ok(s) = build_structure_with_loads(
+                    &platform,
+                    NodeId(0),
+                    kind,
+                    CommModel::OnePort,
+                    SLICE,
+                    Some(&optimal),
+                ) {
+                    best_tree_tp = best_tree_tp.max(bcast_core::steady_state_throughput(
+                        &platform,
+                        &s,
+                        CommModel::OnePort,
+                        SLICE,
+                    ));
+                    candidates.push(s);
+                }
+            }
+            let plain = synthesize_schedule(
+                &platform,
+                NodeId(0),
+                &optimal,
+                SLICE,
+                &SynthesisConfig::default(),
+            )
+            .unwrap();
+            let best = synthesize_schedule_with_tree_fallback(
+                &platform,
+                NodeId(0),
+                &optimal,
+                SLICE,
+                &SynthesisConfig::default(),
+                &candidates,
+            )
+            .unwrap();
+            best.validate(&platform).unwrap();
+            assert!(best.throughput() >= plain.throughput() - 1e-12);
+            assert!(
+                best.throughput() >= best_tree_tp * (1.0 - 1e-9),
+                "schedule {} below the best tree {best_tree_tp}",
+                best.throughput()
+            );
+            assert!(best.throughput() <= optimal.throughput * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let platform = random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng);
+        let a = synthesize(&platform, &SynthesisConfig::default());
+        let b = synthesize(&platform, &SynthesisConfig::default());
+        assert_eq!(a.period(), b.period());
+        assert_eq!(a.transfers(), b.transfers());
+        assert_eq!(a.trees(), b.trees());
+    }
+}

@@ -1,0 +1,348 @@
+//! Rationalisation of the LP edge loads into integer per-period
+//! multiplicities, with a guaranteed throughput-loss bound.
+//!
+//! ## The rounding and its loss bound
+//!
+//! The optimal solution of the throughput LP assigns every platform edge a
+//! fractional load `n_e` (slices per time unit) with optimal throughput
+//! `TP`. A periodic schedule needs integers: we pick a batch size `B`
+//! (slices per period) and round every edge up to
+//!
+//! ```text
+//!   c_e = ⌈ n_e · B / TP ⌉ .
+//! ```
+//!
+//! Rounding **up** keeps every source→destination cut at integer capacity
+//! at least `B` (each cut has fractional capacity ≥ `B` before rounding and
+//! the ceiling only adds), so by max-flow/min-cut — and, constructively, by
+//! Edmonds' arborescence-packing theorem — the rounded multigraph still
+//! supports broadcasting `B` slices per period.
+//!
+//! The price is at most one extra slice per support edge and period. With
+//! `T_e` the per-slice occupation of edge `e` and
+//! `D = max_u max(Σ_out T_e, Σ_in T_e)` (sums over the support edges
+//! adjacent to `u`), each port's work per period is at most
+//!
+//! ```text
+//!   Σ c_e·T_e  ≤  (B / TP) · Σ n_e·T_e  +  Σ T_e  ≤  B/TP + D ,
+//! ```
+//!
+//! because the LP's one-port constraint bounds `Σ n_e·T_e ≤ 1` per port.
+//! Relative to the ideal period `B/TP` the rounding therefore inflates any
+//! port's busy time by at most `TP·D/B` — choose `B ≥ TP·D/ε` and the loss
+//! is at most `ε`. [`round_loads`] picks `B` this way (clamped to a
+//! practical range) unless the caller fixes it explicitly.
+//!
+//! Floating-point noise in the LP solution can make a ceiling land one unit
+//! short of a tight cut; a repair pass runs one integer max-flow per
+//! destination and bumps a crossing edge until every destination reaches
+//! `B`, so the packing precondition holds *exactly*.
+
+use crate::error::SchedError;
+use bcast_net::{maxflow, NodeId};
+use bcast_platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Absolute slack subtracted before taking ceilings, so loads that are
+/// integral up to LP tolerance (e.g. `2.0000001`) do not round to the next
+/// integer. Any resulting under-capacity is fixed by the repair pass.
+const CEIL_TOL: f64 = 1e-6;
+
+/// Result of [`round_loads`]: integer per-edge multiplicities for one
+/// period of `slices_per_period` slices.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundedLoads {
+    /// Batch size `B`: slices broadcast per period.
+    pub slices_per_period: usize,
+    /// `multiplicity[e]` slice transfers cross edge `e` in every period.
+    pub multiplicity: Vec<u32>,
+    /// Ideal period `B / TP` in seconds — the period a loss-free
+    /// realisation of the LP optimum would achieve for this batch size.
+    pub ideal_period: f64,
+    /// Guaranteed relative bound on the port-occupation overhead introduced
+    /// by the rounding (`TP·D/B` plus the repair term; see module docs).
+    pub loss_bound: f64,
+    /// Number of capacity bumps the integer-feasibility repair pass needed.
+    pub repairs: usize,
+}
+
+/// Choice of the batch size `B`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundingConfig {
+    /// Fixed batch size; `None` derives it from `target_loss`.
+    pub slices_per_period: Option<usize>,
+    /// Target relative throughput loss of the rounding (default 2%).
+    pub target_loss: f64,
+    /// Lower clamp on the derived batch size.
+    pub min_slices_per_period: usize,
+    /// Upper clamp on the derived batch size (packing cost grows with `B`).
+    pub max_slices_per_period: usize,
+}
+
+impl Default for RoundingConfig {
+    fn default() -> Self {
+        RoundingConfig {
+            slices_per_period: None,
+            target_loss: 0.02,
+            min_slices_per_period: 4,
+            max_slices_per_period: 96,
+        }
+    }
+}
+
+/// Rounds the fractional edge loads `loads` (with optimal throughput
+/// `throughput`) into integer per-period multiplicities such that every
+/// destination admits an integral flow of `slices_per_period` from `source`.
+pub fn round_loads(
+    platform: &Platform,
+    source: NodeId,
+    loads: &[f64],
+    throughput: f64,
+    slice_size: f64,
+    config: &RoundingConfig,
+) -> Result<RoundedLoads, SchedError> {
+    let m = platform.edge_count();
+    if loads.len() != m {
+        return Err(SchedError::LoadVectorMismatch {
+            expected: m,
+            found: loads.len(),
+        });
+    }
+    if !(throughput.is_finite() && throughput > 0.0) {
+        return Err(SchedError::NonPositiveThroughput);
+    }
+
+    // Support edges and the worst port occupation D over them.
+    let support_tol = 1e-9 * throughput;
+    let support: Vec<bool> = loads.iter().map(|&l| l > support_tol).collect();
+    let mut max_port_time: f64 = 0.0;
+    let mut max_edge_time: f64 = 0.0;
+    for u in platform.nodes() {
+        let out: f64 = platform
+            .graph()
+            .out_edges(u)
+            .filter(|e| support[e.id.index()])
+            .map(|e| e.payload.link_time(slice_size))
+            .sum();
+        let inc: f64 = platform
+            .graph()
+            .in_edges(u)
+            .filter(|e| support[e.id.index()])
+            .map(|e| e.payload.link_time(slice_size))
+            .sum();
+        max_port_time = max_port_time.max(out).max(inc);
+    }
+    for e in platform.edges() {
+        if support[e.index()] {
+            max_edge_time = max_edge_time.max(platform.link_time(e, slice_size));
+        }
+    }
+
+    let batch = match config.slices_per_period {
+        Some(b) => b.max(1),
+        None => {
+            let needed = (throughput * max_port_time / config.target_loss.max(1e-6)).ceil();
+            let needed = if needed.is_finite() {
+                needed as usize
+            } else {
+                usize::MAX
+            };
+            needed.clamp(
+                config.min_slices_per_period.max(1),
+                config.max_slices_per_period.max(1),
+            )
+        }
+    };
+    let scale = batch as f64 / throughput;
+
+    let mut multiplicity: Vec<u32> = loads
+        .iter()
+        .map(|&l| {
+            let ideal = l * scale;
+            if ideal <= CEIL_TOL {
+                0
+            } else {
+                (ideal - CEIL_TOL).ceil().max(1.0) as u32
+            }
+        })
+        .collect();
+
+    // Repair pass: every destination must admit an integral flow of `batch`.
+    let graph = platform.graph();
+    let mut repairs = 0usize;
+    for w in platform.nodes().filter(|&w| w != source) {
+        loop {
+            let flow =
+                maxflow::max_flow(graph, source, w, |e, _| f64::from(multiplicity[e.index()]));
+            if flow.value.round() as i64 >= batch as i64 {
+                break;
+            }
+            // Bump the crossing edge that was rounded down the most (the
+            // ceiling tolerance is the usual culprit); break ties by edge id.
+            let mut best: Option<(f64, usize)> = None;
+            for e in graph.edges() {
+                if flow.source_side[e.src.index()] && !flow.source_side[e.dst.index()] {
+                    let deficit =
+                        loads[e.id.index()] * scale - f64::from(multiplicity[e.id.index()]);
+                    if best.is_none_or(|(d, _)| deficit > d + 1e-12) {
+                        best = Some((deficit, e.id.index()));
+                    }
+                }
+            }
+            let Some((_, e)) = best else {
+                return Err(SchedError::Unreachable { source });
+            };
+            multiplicity[e] += 1;
+            repairs += 1;
+        }
+    }
+
+    let ideal_period = batch as f64 / throughput;
+    let loss_bound = throughput * (max_port_time + repairs as f64 * max_edge_time) / batch as f64;
+    Ok(RoundedLoads {
+        slices_per_period: batch,
+        multiplicity,
+        ideal_period,
+        loss_bound,
+        repairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcast_core::{optimal_throughput, OptimalMethod};
+    use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
+    use bcast_platform::LinkCost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_loads_round_exactly() {
+        // 0 -> 1 -> 2 over unit links: TP = 1, n_e = 1 on both chain edges.
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_link(p[1], p[2], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let o =
+            optimal_throughput(&platform, NodeId(0), 1.0, OptimalMethod::CutGeneration).unwrap();
+        let r = round_loads(
+            &platform,
+            NodeId(0),
+            &o.edge_load,
+            o.throughput,
+            1.0,
+            &RoundingConfig {
+                slices_per_period: Some(8),
+                ..RoundingConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.slices_per_period, 8);
+        assert_eq!(r.multiplicity, vec![8, 8]);
+        assert_eq!(r.repairs, 0);
+        assert!((r.ideal_period - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_destination_supports_an_integral_batch_flow() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let platform = random_platform(&RandomPlatformConfig::paper(16, 0.12), &mut rng);
+        let o =
+            optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration).unwrap();
+        let r = round_loads(
+            &platform,
+            NodeId(0),
+            &o.edge_load,
+            o.throughput,
+            1.0e6,
+            &RoundingConfig::default(),
+        )
+        .unwrap();
+        let b = r.slices_per_period as f64;
+        for w in platform.nodes().filter(|&w| w != NodeId(0)) {
+            let flow = maxflow::max_flow(platform.graph(), NodeId(0), w, |e, _| {
+                f64::from(r.multiplicity[e.index()])
+            });
+            assert!(
+                flow.value.round() >= b,
+                "destination {w}: integral flow {} < batch {b}",
+                flow.value
+            );
+        }
+        assert!(r.loss_bound >= 0.0 && r.loss_bound < 0.5);
+    }
+
+    #[test]
+    fn derived_batch_size_respects_the_target_loss() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let platform = random_platform(&RandomPlatformConfig::paper(10, 0.2), &mut rng);
+        let o =
+            optimal_throughput(&platform, NodeId(0), 1.0e6, OptimalMethod::CutGeneration).unwrap();
+        let fine = round_loads(
+            &platform,
+            NodeId(0),
+            &o.edge_load,
+            o.throughput,
+            1.0e6,
+            &RoundingConfig {
+                target_loss: 0.01,
+                max_slices_per_period: 4096,
+                ..RoundingConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            fine.loss_bound <= 0.01 + 1e-9 || fine.repairs > 0,
+            "loss bound {} exceeds target",
+            fine.loss_bound
+        );
+        let coarse = round_loads(
+            &platform,
+            NodeId(0),
+            &o.edge_load,
+            o.throughput,
+            1.0e6,
+            &RoundingConfig {
+                target_loss: 0.2,
+                ..RoundingConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(coarse.slices_per_period <= fine.slices_per_period);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(2);
+        b.add_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        assert_eq!(
+            round_loads(
+                &platform,
+                NodeId(0),
+                &[],
+                1.0,
+                1.0,
+                &RoundingConfig::default()
+            ),
+            Err(SchedError::LoadVectorMismatch {
+                expected: 1,
+                found: 0
+            })
+        );
+        assert_eq!(
+            round_loads(
+                &platform,
+                NodeId(0),
+                &[1.0],
+                f64::INFINITY,
+                1.0,
+                &RoundingConfig::default()
+            ),
+            Err(SchedError::NonPositiveThroughput)
+        );
+    }
+}

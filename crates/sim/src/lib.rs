@@ -13,16 +13,22 @@
 //! * under the **multi-port** model only the per-message sender overhead
 //!   serialises, while link occupations overlap.
 //!
-//! The main entry point is [`simulate_broadcast`], which returns a
+//! The main entry points are [`simulate_broadcast`], which returns a
 //! [`SimulationReport`] with per-slice completion times, the makespan, and
 //! an estimated steady-state period/throughput obtained from the completion
-//! times of the last slices (after the pipeline has filled).
+//! times of the last slices (after the pipeline has filled), and
+//! [`simulate_schedule`], the schedule-driven execution mode that replays a
+//! synthesized [`bcast_sched::PeriodicSchedule`] (multi-tree periodic
+//! broadcast) with full feasibility checking, so the schedule's simulated
+//! throughput can be compared against the LP bound and the tree heuristics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod report;
+pub mod schedule_exec;
 
 pub use engine::{simulate_broadcast, SimulationConfig};
 pub use report::SimulationReport;
+pub use schedule_exec::simulate_schedule;

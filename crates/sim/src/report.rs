@@ -51,6 +51,37 @@ impl SimulationReport {
     pub fn fill_time(&self) -> f64 {
         self.slice_completion.first().copied().unwrap_or(0.0)
     }
+
+    /// Per-slice steady-state period measured over batch-strided completion
+    /// gaps: when the broadcast delivers `batch` slices per period (the
+    /// schedule-driven execution mode), `completion[k + batch] −
+    /// completion[k]` spans exactly one period, so this estimator is immune
+    /// to the within-batch completion jitter that throws off
+    /// [`SimulationReport::estimated_period`]. Averages over the last half
+    /// of the slices; falls back to `estimated_period` when the run is too
+    /// short for a single stride.
+    pub fn batch_period(&self, batch: usize) -> f64 {
+        let n = self.slice_completion.len();
+        if batch == 0 || n <= batch {
+            return self.estimated_period();
+        }
+        // Strides k → k + batch with k in the last half of the run.
+        let start = (n / 2).min(n - batch - 1);
+        let gaps = (start..n - batch)
+            .map(|k| self.slice_completion[k + batch] - self.slice_completion[k])
+            .sum::<f64>();
+        gaps / ((n - batch - start) * batch) as f64
+    }
+
+    /// Steady-state throughput derived from [`SimulationReport::batch_period`].
+    pub fn batch_throughput(&self, batch: usize) -> f64 {
+        let p = self.batch_period(batch);
+        if p > 0.0 {
+            1.0 / p
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +112,19 @@ mod tests {
         // Irregular start, steady tail of spacing 1.
         let r = report(vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0]);
         assert!((r.estimated_period() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_period_ignores_within_batch_jitter() {
+        // Two slices per period of length 4; completions jitter inside the
+        // batch (3, 1 offsets), which fools the adjacent-gap estimator but
+        // not the batch-strided one.
+        let r = report(vec![3.0, 1.0, 7.0, 5.0, 11.0, 9.0, 15.0, 13.0]);
+        assert!((r.batch_period(2) - 2.0).abs() < 1e-12);
+        assert!((r.batch_throughput(2) - 0.5).abs() < 1e-12);
+        // Degenerate strides fall back to the plain estimator.
+        assert_eq!(r.batch_period(0), r.estimated_period());
+        assert_eq!(r.batch_period(100), r.estimated_period());
     }
 
     #[test]

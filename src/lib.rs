@@ -14,7 +14,8 @@
 //! | [`lp`] (`bcast-lp`) | dense two-phase simplex LP solver |
 //! | [`platform`] (`bcast-platform`) | platform model (affine link costs, one-port / multi-port) and generators (random, Tiers-like) |
 //! | [`core`] (`bcast-core`) | the paper's heuristics, the MTP optimal throughput, the evaluation harness |
-//! | [`sim`] (`bcast-sim`) | discrete-event simulator of pipelined broadcasts |
+//! | [`sched`] (`bcast-sched`) | periodic steady-state schedule synthesis from the LP edge loads |
+//! | [`sim`] (`bcast-sim`) | discrete-event simulator of pipelined broadcasts, including schedule replay |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use bcast_core as core;
 pub use bcast_lp as lp;
 pub use bcast_net as net;
 pub use bcast_platform as platform;
+pub use bcast_sched as sched;
 pub use bcast_sim as sim;
 
 /// Everything a typical user needs, in one import.
@@ -58,10 +60,19 @@ pub mod prelude {
         pipelined_completion_time, sta_makespan, steady_state_bandwidth, steady_state_period,
         steady_state_throughput,
     };
-    pub use bcast_core::{BroadcastStructure, CoreError};
+    pub use bcast_core::{BroadcastStructure, CoreError, CutGenOptions, CutGenResult, NodeCutSet};
     pub use bcast_net::{EdgeId, NodeId};
+    pub use bcast_platform::generators::gaussian_field::{
+        gaussian_platform, GaussianPlatformConfig,
+    };
     pub use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
     pub use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
     pub use bcast_platform::{CommModel, LinkCost, MessageSpec, Platform, PlatformBuilder};
-    pub use bcast_sim::{simulate_broadcast, SimulationConfig, SimulationReport};
+    pub use bcast_sched::{
+        synthesize_schedule, synthesize_schedule_with_tree_fallback, PeriodicSchedule,
+        RoundingConfig, SchedError, SynthesisConfig,
+    };
+    pub use bcast_sim::{
+        simulate_broadcast, simulate_schedule, SimulationConfig, SimulationReport,
+    };
 }

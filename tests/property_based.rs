@@ -125,3 +125,53 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The synthesized periodic schedule is always port-feasible (no node
+    /// sends or receives twice within a round under the one-port model, and
+    /// it passes the full validator), never beats the LP bound, and its
+    /// simulated completion times are exactly periodic: consecutive batches
+    /// finish exactly one analytic period apart (to 1e-9).
+    #[test]
+    fn synthesized_schedules_are_port_feasible_and_periodic(
+        (nodes, density, seed) in (4usize..14, 0.0f64..0.35, any::<u64>())
+    ) {
+        let platform = make_platform(nodes, density, seed);
+        let optimal = optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration)
+            .expect("connected by construction");
+        let schedule = synthesize_schedule(
+            &platform, NodeId(0), &optimal, SLICE,
+            &SynthesisConfig::with_batch(8))
+            .expect("synthesis succeeds");
+        prop_assert!(schedule.validate(&platform).is_ok(),
+            "validator rejected the schedule: {:?}", schedule.validate(&platform));
+        // One-port round feasibility, checked directly against the rounds.
+        for round in schedule.rounds() {
+            let mut sends = vec![false; platform.node_count()];
+            let mut recvs = vec![false; platform.node_count()];
+            for &t in &round.transfers {
+                let edge = schedule.transfers()[t].edge;
+                let u = platform.graph().src(edge);
+                let v = platform.graph().dst(edge);
+                prop_assert!(!sends[u.index()], "node {} sends twice in a round", u);
+                prop_assert!(!recvs[v.index()], "node {} receives twice in a round", v);
+                sends[u.index()] = true;
+                recvs[v.index()] = true;
+            }
+        }
+        // The schedule realises at most the LP optimum.
+        prop_assert!(schedule.throughput() <= optimal.throughput * (1.0 + 1e-6),
+            "schedule {} beats the LP bound {}", schedule.throughput(), optimal.throughput);
+        // Simulated completions are exactly periodic with the analytic period.
+        let batch = schedule.slices_per_period();
+        let spec = MessageSpec::new(4.0 * batch as f64 * SLICE, SLICE);
+        let report = simulate_schedule(&platform, &schedule, &spec);
+        for k in 0..report.slices - batch {
+            let gap = report.slice_completion[k + batch] - report.slice_completion[k];
+            prop_assert!((gap - schedule.period()).abs() <= 1e-9 * schedule.period().max(1.0),
+                "slice {}: batch gap {} vs analytic period {}", k, gap, schedule.period());
+        }
+    }
+}
