@@ -7,7 +7,7 @@
 //! grows as `|E|·(p−1)` and it quickly stops being competitive).
 
 use bcast_bench::{fixture_random, fixture_tiers, SLICE};
-use bcast_core::optimal::{optimal_throughput, OptimalMethod};
+use bcast_core::optimal::{cut_gen, optimal_throughput, CutGenOptions, OptimalMethod};
 use bcast_net::NodeId;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -88,12 +88,43 @@ fn bench_cutgen_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warm-started dual simplex vs cold re-solves in the cut-generation master
+/// — the PR 3 perf lever, benchmarked on the Tiers sweep points.
+fn bench_cutgen_warm_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut-generation-warm-start");
+    group.sample_size(10);
+    for &nodes in &[30usize, 65] {
+        let platform = fixture_tiers(nodes, 13 + nodes as u64);
+        for (label, warm_start) in [("warm", true), ("cold", false)] {
+            group.bench_with_input(BenchmarkId::new(label, nodes), &nodes, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        cut_gen::solve_with(
+                            black_box(&platform),
+                            NodeId(0),
+                            SLICE,
+                            &CutGenOptions {
+                                warm_start,
+                                ..CutGenOptions::default()
+                            },
+                        )
+                        .unwrap()
+                        .optimal
+                        .simplex_iterations,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_direct_vs_cutgen, bench_cutgen_scaling
+    targets = bench_direct_vs_cutgen, bench_cutgen_scaling, bench_cutgen_warm_start
 }
 criterion_main!(benches);

@@ -45,8 +45,10 @@
 //! cuts are returned alongside for reuse.
 
 use crate::error::CoreError;
-use crate::optimal::OptimalThroughput;
-use bcast_lp::{LpProblem, Sense, VarId};
+use crate::optimal::{edge_lp_skeleton, OptimalThroughput};
+use bcast_lp::{
+    Constraint, ConstraintOp, LpProblem, LpSolution, RowId, SimplexOptions, SimplexState, VarId,
+};
 use bcast_net::{maxflow, NodeId};
 use bcast_platform::Platform;
 use std::collections::HashMap;
@@ -106,6 +108,12 @@ pub struct CutGenOptions {
     /// previously solved instance with the same node count). Invalid entries
     /// (wrong length, source outside, empty sink side) are ignored.
     pub seed_cuts: Vec<NodeCutSet>,
+    /// Keep one [`SimplexState`] alive across master rounds and re-optimize
+    /// it with warm-started dual simplex after appending/purging cut rows
+    /// (the default). `false` re-solves the master LP from scratch every
+    /// round — the pre-incremental behaviour, kept as the reference side of
+    /// the differential tests.
+    pub warm_start: bool,
 }
 
 impl Default for CutGenOptions {
@@ -113,6 +121,7 @@ impl Default for CutGenOptions {
         CutGenOptions {
             purge_after: Some(2),
             seed_cuts: Vec::new(),
+            warm_start: true,
         }
     }
 }
@@ -137,6 +146,72 @@ struct Cut {
     non_binding_streak: usize,
     /// False once purged (until re-separated).
     active: bool,
+    /// Row handle inside the warm master (`None` when cold, purged, or not
+    /// yet appended).
+    row: Option<RowId>,
+}
+
+/// The master LP in one of its two modes: a persistent incremental solver
+/// (warm-started dual simplex across rounds) or the pre-incremental
+/// clone-and-resolve path kept for differential testing.
+enum MasterLp {
+    Warm(Box<SimplexState>),
+    Cold(LpProblem),
+}
+
+/// The cut row `Σ_{e ∈ cut} n_e − TP ≥ 0` in LP terms.
+fn cut_row_terms(edges: &[u32], tp: VarId, n_vars: &[VarId]) -> Vec<(VarId, f64)> {
+    let mut terms: Vec<(VarId, f64)> = edges.iter().map(|&e| (n_vars[e as usize], 1.0)).collect();
+    terms.push((tp, -1.0));
+    terms
+}
+
+/// Solves the current master. Warm mode first appends any active cut that
+/// has no live row yet (new or reactivated — purged rows were deleted at
+/// purge time), then re-optimizes the persistent basis; cold mode rebuilds
+/// the whole LP from the base and solves it from scratch.
+fn solve_master(
+    master: &mut MasterLp,
+    cuts: &mut [Cut],
+    tp: VarId,
+    n_vars: &[VarId],
+    simplex_iterations: &mut usize,
+) -> Result<LpSolution, CoreError> {
+    let solution = match master {
+        MasterLp::Warm(state) => {
+            // One batched append for every active cut without a live row
+            // (new or reactivated): the state widens its tableau once for
+            // the whole batch instead of once per cut.
+            let pending: Vec<usize> = cuts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.active && c.row.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            let batch: Vec<Constraint> = pending
+                .iter()
+                .map(|&i| Constraint {
+                    terms: cut_row_terms(&cuts[i].edges, tp, n_vars),
+                    op: ConstraintOp::Ge,
+                    rhs: 0.0,
+                })
+                .collect();
+            let rows = state.add_rows(&batch).map_err(CoreError::Lp)?;
+            for (&i, row) in pending.iter().zip(rows) {
+                cuts[i].row = Some(row);
+            }
+            state.resolve().map_err(CoreError::Lp)?
+        }
+        MasterLp::Cold(base) => {
+            let mut lp = base.clone();
+            for cut in cuts.iter().filter(|c| c.active) {
+                lp.add_ge(&cut_row_terms(&cut.edges, tp, n_vars), 0.0);
+            }
+            lp.solve().map_err(CoreError::Lp)?
+        }
+    };
+    *simplex_iterations += solution.iterations;
+    Ok(solution)
 }
 
 /// Solves the MTP optimal-throughput problem by cut generation with default
@@ -181,36 +256,18 @@ pub fn solve_with(
                 iterations: 0,
                 cuts: 0,
                 purged_cuts: 0,
+                simplex_iterations: 0,
             },
             binding_cuts: Vec::new(),
         });
     }
 
     // Base master LP over (TP, n): objective plus the one-port constraints
-    // (they subsume the per-edge constraint n_e·T_e ≤ 1). Cut rows are
-    // re-appended to a clone of this base every round, which is what makes
-    // purging trivial.
-    let mut base = LpProblem::new(Sense::Maximize);
-    let tp = base.add_var("TP", 1.0);
-    let n_vars: Vec<VarId> = (0..m)
-        .map(|e| base.add_var(format!("n_{e}"), 0.0))
-        .collect();
-    for u in platform.nodes() {
-        let out_terms: Vec<(VarId, f64)> = graph
-            .out_edges(u)
-            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
-            .collect();
-        if !out_terms.is_empty() {
-            base.add_le(&out_terms, 1.0);
-        }
-        let in_terms: Vec<(VarId, f64)> = graph
-            .in_edges(u)
-            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
-            .collect();
-        if !in_terms.is_empty() {
-            base.add_le(&in_terms, 1.0);
-        }
-    }
+    // (they subsume the per-edge constraint n_e·T_e ≤ 1), built by the
+    // skeleton shared with the direct LP. In warm mode the base is
+    // factorized once and cut rows are appended/deleted in place; in cold
+    // mode cut rows are re-appended to a clone of this base every round.
+    let (base, tp, n_vars) = edge_lp_skeleton(platform, slice_size);
 
     let mut cuts: Vec<Cut> = Vec::new();
     let mut index_by_edges: HashMap<Vec<u32>, usize> = HashMap::new();
@@ -247,6 +304,7 @@ pub fn solve_with(
                     edges,
                     non_binding_streak: 0,
                     active: true,
+                    row: None,
                 });
                 true
             }
@@ -268,23 +326,27 @@ pub fn solve_with(
         add_cut(&mut cuts, &mut index_by_edges, seed.source_side.clone());
     }
 
-    let solve_master = |cuts: &[Cut]| -> Result<bcast_lp::LpSolution, CoreError> {
-        let mut lp = base.clone();
-        for cut in cuts.iter().filter(|c| c.active) {
-            let mut terms: Vec<(VarId, f64)> = cut
-                .edges
-                .iter()
-                .map(|&e| (n_vars[e as usize], 1.0))
-                .collect();
-            terms.push((tp, -1.0));
-            lp.add_ge(&terms, 0.0);
-        }
-        lp.solve().map_err(CoreError::Lp)
+    // Note on vertex selection: the warm master returns the *nearest*
+    // repaired vertex rather than the vertex a cold Dantzig solve would
+    // find, which can cost extra separation rounds on large degenerate
+    // instances (measured in EXPERIMENTS.md). `SimplexState` supports a
+    // secondary objective over the optimal face for deliberate tie-breaking;
+    // the obvious candidate (maximise total edge load) measurably *hurt*
+    // separation here, so none is installed — finding a separation-aware
+    // tie-break is an open item in ROADMAP.md.
+    let mut master = if options.warm_start {
+        MasterLp::Warm(Box::new(
+            SimplexState::new(&base, SimplexOptions::default()).map_err(CoreError::Lp)?,
+        ))
+    } else {
+        MasterLp::Cold(base)
     };
 
     let mut rounds = 0usize;
     let mut purged = 0usize;
-    let mut last_solution = solve_master(&cuts)?;
+    let mut simplex_iterations = 0usize;
+    let mut last_solution =
+        solve_master(&mut master, &mut cuts, tp, &n_vars, &mut simplex_iterations)?;
     loop {
         rounds += 1;
         let tp_value = last_solution.value(tp);
@@ -318,13 +380,19 @@ pub fn solve_with(
                     iterations: rounds,
                     cuts: cuts.len(),
                     purged_cuts: purged,
+                    simplex_iterations,
                 },
                 binding_cuts,
             });
         }
         // Purge cuts whose slack stayed non-binding for `purge_after`
         // consecutive rounds (counted on the rounds where they were priced).
+        // In warm mode the rows are deleted from the live basis right away:
+        // a non-binding cut's slack is basic, so the deletion keeps the
+        // factorization valid (a degenerate exception falls back to one cold
+        // refactorization inside the solver).
         if let Some(limit) = options.purge_after {
+            let mut purged_rows: Vec<RowId> = Vec::new();
             for cut in cuts.iter_mut().filter(|c| c.active) {
                 if cut_slack(cut, &loads, tp_value) > tol {
                     cut.non_binding_streak += 1;
@@ -332,13 +400,21 @@ pub fn solve_with(
                         cut.active = false;
                         cut.non_binding_streak = 0;
                         purged += 1;
+                        if let Some(row) = cut.row.take() {
+                            purged_rows.push(row);
+                        }
                     }
                 } else {
                     cut.non_binding_streak = 0;
                 }
             }
+            if !purged_rows.is_empty() {
+                if let MasterLp::Warm(state) = &mut master {
+                    state.delete_rows(&purged_rows).map_err(CoreError::Lp)?;
+                }
+            }
         }
-        last_solution = solve_master(&cuts)?;
+        last_solution = solve_master(&mut master, &mut cuts, tp, &n_vars, &mut simplex_iterations)?;
     }
 }
 
@@ -422,6 +498,7 @@ mod tests {
             &CutGenOptions {
                 purge_after: Some(2),
                 seed_cuts: Vec::new(),
+                ..CutGenOptions::default()
             },
         )
         .unwrap();
@@ -432,6 +509,7 @@ mod tests {
             &CutGenOptions {
                 purge_after: None,
                 seed_cuts: Vec::new(),
+                ..CutGenOptions::default()
             },
         )
         .unwrap();
@@ -474,6 +552,7 @@ mod tests {
             &CutGenOptions {
                 purge_after: Some(2),
                 seed_cuts: first.binding_cuts.clone(),
+                ..CutGenOptions::default()
             },
         )
         .unwrap();
@@ -529,6 +608,7 @@ mod tests {
             &CutGenOptions {
                 purge_after: Some(2),
                 seed_cuts: bogus,
+                ..CutGenOptions::default()
             },
         )
         .unwrap();

@@ -22,8 +22,8 @@
 //! * (g, j) one-port output constraint `Σ_out n[e]·T_e ≤ 1` at every node.
 
 use crate::error::CoreError;
-use crate::optimal::OptimalThroughput;
-use bcast_lp::{LpProblem, Sense, VarId};
+use crate::optimal::{edge_lp_skeleton, OptimalThroughput};
+use bcast_lp::VarId;
 use bcast_net::NodeId;
 use bcast_platform::Platform;
 
@@ -38,10 +38,10 @@ pub fn solve(
     let m = platform.edge_count();
     let destinations: Vec<NodeId> = platform.nodes().filter(|&u| u != source).collect();
 
-    let mut lp = LpProblem::new(Sense::Maximize);
-    let tp = lp.add_var("TP", 1.0);
-    // n[e]
-    let n_vars: Vec<VarId> = (0..m).map(|e| lp.add_var(format!("n_{e}"), 0.0)).collect();
+    // The TP/n_e variables and one-port constraints (f, g, i, j) come from
+    // the builder shared with the cut-generation master, so the two solvers
+    // cannot drift apart on the port model.
+    let (mut lp, tp, n_vars) = edge_lp_skeleton(platform, slice_size);
     // x[e][w] laid out edge-major.
     let x_var = |e: usize, w: usize| VarId(1 + m + e * destinations.len() + w);
     for e in 0..m {
@@ -98,28 +98,13 @@ pub fn solve(
             lp.add_le(&[(x_var(e, wi), 1.0), (n_e, -1.0)], 0.0);
         }
     }
-    // (e)+(h) per-edge occupation ≤ 1
+    // (e)+(h) per-edge occupation ≤ 1. Redundant given the one-port rows of
+    // the skeleton, but kept so this stays a verbatim transcription of (2).
     for e in platform.edges() {
         let t = platform.link_time(e, slice_size);
         lp.add_le(&[(n_vars[e.index()], t)], 1.0);
     }
-    // (f)+(i) and (g)+(j): one-port constraints per node
-    for u in platform.nodes() {
-        let in_terms: Vec<(VarId, f64)> = graph
-            .in_edges(u)
-            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
-            .collect();
-        if !in_terms.is_empty() {
-            lp.add_le(&in_terms, 1.0);
-        }
-        let out_terms: Vec<(VarId, f64)> = graph
-            .out_edges(u)
-            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
-            .collect();
-        if !out_terms.is_empty() {
-            lp.add_le(&out_terms, 1.0);
-        }
-    }
+    // (f, g, i, j): the one-port constraints were added by the skeleton.
 
     let _ = p;
     let solution = lp.solve().map_err(CoreError::Lp)?;
@@ -130,6 +115,7 @@ pub fn solve(
         iterations: solution.iterations,
         cuts: 0,
         purged_cuts: 0,
+        simplex_iterations: solution.iterations,
     })
 }
 

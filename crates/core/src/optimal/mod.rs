@@ -25,9 +25,47 @@ pub mod direct_lp;
 pub use cut_gen::{CutGenOptions, CutGenResult, NodeCutSet};
 
 use crate::error::CoreError;
+use bcast_lp::{LpProblem, Sense, VarId};
 use bcast_net::NodeId;
 use bcast_platform::Platform;
 use serde::{Deserialize, Serialize};
+
+/// Builds the LP skeleton shared by both optimal solvers: the throughput
+/// variable `TP` (the objective), one load variable `n_e` per platform edge,
+/// and the one-port constraints `Σ n_e·T_e ≤ 1` per node port (output first,
+/// then input, in node order — the ordering is part of the deterministic
+/// pivot sequence and must not change casually).
+///
+/// The one-port rows subsume the per-edge occupation constraint
+/// `n_e·T_e ≤ 1`; the direct LP re-adds it anyway to stay a verbatim
+/// transcription of the paper's equation (2).
+pub(crate) fn edge_lp_skeleton(
+    platform: &Platform,
+    slice_size: f64,
+) -> (LpProblem, VarId, Vec<VarId>) {
+    let graph = platform.graph();
+    let m = platform.edge_count();
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let tp = lp.add_var("TP", 1.0);
+    let n_vars: Vec<VarId> = (0..m).map(|e| lp.add_var(format!("n_{e}"), 0.0)).collect();
+    for u in platform.nodes() {
+        let out_terms: Vec<(VarId, f64)> = graph
+            .out_edges(u)
+            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
+            .collect();
+        if !out_terms.is_empty() {
+            lp.add_le(&out_terms, 1.0);
+        }
+        let in_terms: Vec<(VarId, f64)> = graph
+            .in_edges(u)
+            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
+            .collect();
+        if !in_terms.is_empty() {
+            lp.add_le(&in_terms, 1.0);
+        }
+    }
+    (lp, tp, n_vars)
+}
 
 /// Which algorithm computes the MTP optimum.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -53,6 +91,12 @@ pub struct OptimalThroughput {
     /// Number of cuts purged from the master LP after staying non-binding
     /// (0 for the direct LP or when purging is disabled).
     pub purged_cuts: usize,
+    /// Total simplex pivots across every LP solve of the computation: the
+    /// single solve of the direct LP, or all master-round (re-)solves of the
+    /// cut generation. This is the counter the warm-started dual simplex
+    /// drives down; `table3`/`table_sched` report it and the differential
+    /// tests assert the warm/cold ratio on it.
+    pub simplex_iterations: usize,
 }
 
 impl OptimalThroughput {
@@ -84,6 +128,7 @@ pub fn optimal_throughput(
             iterations: 0,
             cuts: 0,
             purged_cuts: 0,
+            simplex_iterations: 0,
         });
     }
     if !platform.is_broadcast_feasible(source) {

@@ -10,6 +10,10 @@
 //! 4. **Schedule resolution** — the batch size `B` of the synthesized
 //!    periodic schedule trades rounding loss (`≈ TP·D/B`) against schedule
 //!    size; we sweep `B` and report the achieved fraction of the LP bound.
+//! 5. **Master-LP warm start** — the cut-generation master re-optimized by
+//!    warm-started dual simplex (one persistent basis across rounds) vs a
+//!    from-scratch re-solve every round: value agreement, total simplex
+//!    pivots, and wall-clock on the Tiers sweep points.
 //!
 //! ```text
 //! cargo run --release -p bcast-experiments --bin ablation -- [--configs N] [--seed S]
@@ -36,6 +40,68 @@ fn main() {
     pruning_metric_ablation(&args);
     overlap_sensitivity(&args);
     schedule_resolution(&args);
+    warm_start_ablation(&args);
+}
+
+/// Ablation 5: warm-started dual simplex vs cold re-solves in the
+/// cut-generation master, on the Tiers sweep points (n = 20/40/65).
+fn warm_start_ablation(args: &ExperimentArgs) {
+    use bcast_core::optimal::cut_gen;
+    use bcast_core::CutGenOptions;
+    use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
+
+    println!(
+        "Ablation 5 — master-LP warm start: dual simplex from the prior basis vs cold re-solves"
+    );
+    let mut table = AsciiTable::new(vec![
+        "nodes",
+        "TP rel. gap",
+        "warm pivots",
+        "cold pivots",
+        "pivot ratio",
+        "warm rounds",
+        "cold rounds",
+        "warm ms",
+        "cold ms",
+    ]);
+    let sizes: &[usize] = if args.quick { &[20] } else { &[20, 40, 65] };
+    for &nodes in sizes {
+        let density = if nodes <= 40 { 0.10 } else { 0.06 };
+        let mut rng = StdRng::seed_from_u64(args.seed + nodes as u64);
+        let platform = tiers_platform(&TiersConfig::paper(nodes, density), &mut rng);
+        let run = |warm_start: bool| {
+            let t = Instant::now();
+            let result = cut_gen::solve_with(
+                &platform,
+                NodeId(0),
+                SLICE,
+                &CutGenOptions {
+                    warm_start,
+                    ..CutGenOptions::default()
+                },
+            )
+            .expect("solvable instance");
+            (result.optimal, t.elapsed().as_secs_f64() * 1000.0)
+        };
+        let (warm, warm_ms) = run(true);
+        let (cold, cold_ms) = run(false);
+        let gap = (warm.throughput - cold.throughput).abs() / cold.throughput.max(1e-12);
+        table.add_row(vec![
+            nodes.to_string(),
+            format!("{gap:.2e}"),
+            warm.simplex_iterations.to_string(),
+            cold.simplex_iterations.to_string(),
+            format!(
+                "{:.1}x",
+                cold.simplex_iterations as f64 / warm.simplex_iterations.max(1) as f64
+            ),
+            warm.iterations.to_string(),
+            cold.iterations.to_string(),
+            format!("{warm_ms:.1}"),
+            format!("{cold_ms:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
 }
 
 /// Ablation 1: direct LP vs cut generation.

@@ -10,7 +10,7 @@
 
 use bcast_core::heuristics::HeuristicKind;
 use bcast_experiments::{
-    aggregate_relative, tiers_sweep, write_csv_or_exit, AsciiTable, ExperimentArgs,
+    aggregate_relative, solver_totals, tiers_sweep, write_csv_or_exit, AsciiTable, ExperimentArgs,
     TiersSweepConfig,
 };
 
@@ -40,6 +40,11 @@ fn main() {
         config.node_counts, config.configs_per_point
     );
     let records = tiers_sweep(&config);
+    let (instances, rounds, pivots) = solver_totals(&records);
+    eprintln!(
+        "table3: cut generation solved {instances} instances in {rounds} master rounds, \
+         {pivots} simplex pivots total (warm-started dual simplex)"
+    );
     let aggregated = aggregate_relative(&records, |r| r.point.nodes);
 
     let mut header = vec!["nodes".to_string()];

@@ -27,6 +27,6 @@ pub mod sweep;
 pub use cli::ExperimentArgs;
 pub use output::{write_csv, write_csv_or_exit, AsciiTable};
 pub use sweep::{
-    aggregate_relative, random_sweep, tiers_sweep, RandomSweepConfig, SweepPoint, SweepRecord,
-    TiersSweepConfig,
+    aggregate_relative, random_sweep, solver_totals, tiers_sweep, RandomSweepConfig, SweepPoint,
+    SweepRecord, TiersSweepConfig,
 };

@@ -50,6 +50,13 @@ pub struct SweepRecord {
     pub relative: f64,
     /// The MTP optimal throughput of the instance (one-port model).
     pub optimal: f64,
+    /// Master-LP rounds of the instance's cut-generation solve (repeated on
+    /// every heuristic record of the same instance).
+    pub master_rounds: usize,
+    /// Total simplex pivots of the instance's cut-generation solve — the
+    /// counter the warm-started dual simplex drives down; `table3` prints
+    /// the sweep-wide totals from it.
+    pub simplex_iterations: usize,
 }
 
 /// Configuration of a sweep over random platforms (paper Table 2).
@@ -224,6 +231,8 @@ fn evaluate_instance(
                     throughput: row.throughput,
                     relative: row.relative,
                     optimal: result.optimal.throughput,
+                    master_rounds: result.optimal.iterations,
+                    simplex_iterations: result.optimal.simplex_iterations,
                 })
                 .collect();
             (records, result.binding_cuts)
@@ -302,6 +311,26 @@ where
     indexed.into_iter().flat_map(|(_, r)| r).collect()
 }
 
+/// Sweep-wide totals of the cut-generation solver counters:
+/// `(instances, master rounds, simplex pivots)`. Every `(point, instance)`
+/// pair is counted once — the per-heuristic records of one instance all
+/// carry the same solve statistics.
+pub fn solver_totals(records: &[SweepRecord]) -> (usize, usize, usize) {
+    let mut seen: Vec<(usize, u64, usize)> = Vec::new();
+    let (mut instances, mut rounds, mut pivots) = (0usize, 0usize, 0usize);
+    for r in records {
+        let key = (r.point.nodes, r.point.density.to_bits(), r.instance);
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        instances += 1;
+        rounds += r.master_rounds;
+        pivots += r.simplex_iterations;
+    }
+    (instances, rounds, pivots)
+}
+
 /// Aggregates records: for every `(group, heuristic)` pair, the mean and
 /// standard deviation of the relative performance. `group_of` maps a record
 /// to its group key (e.g. the node count or the density bucket).
@@ -368,7 +397,13 @@ mod tests {
             assert!(r.relative > 0.0 && r.relative <= 1.0 + 1e-6);
             assert!(r.optimal > 0.0);
             assert_eq!(r.point.nodes, 8);
+            assert!(r.master_rounds > 0, "solver stats not threaded through");
+            assert!(r.simplex_iterations > 0);
         }
+        let (instances, rounds, pivots) = solver_totals(&records);
+        assert_eq!(instances, 2, "per-heuristic duplicates not deduplicated");
+        assert_eq!(rounds, records[0].master_rounds + records[2].master_rounds);
+        assert!(pivots > 0);
     }
 
     #[test]

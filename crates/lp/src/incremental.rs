@@ -1,0 +1,881 @@
+//! Incremental LP solving: a persistent simplex basis re-optimized by the
+//! **dual simplex** method as rows are appended and deleted.
+//!
+//! The cut-generation master LP of the broadcast-throughput bound is the
+//! textbook use case: every master round *appends* a handful of violated cut
+//! rows to a previously optimal LP (and occasionally *deletes* stale ones).
+//! Re-solving from scratch discards the basis, rebuilds phase 1 and walks the
+//! whole phase-2 path again; warm-starting reuses all of it:
+//!
+//! * **Append** — a new `≤` row gets a fresh slack column. Expressed in the
+//!   current basis (one elimination pass over the tableau) the row's
+//!   right-hand side may turn negative, but the reduced costs of all old
+//!   columns are untouched and the new slack prices out at zero — the basis
+//!   stays *dual feasible*. [`simplex::dual_simplex`] then restores primal
+//!   feasibility in a few pivots instead of a full re-solve.
+//! * **Delete** — a row whose slack is *basic* has a unit slack column, so
+//!   dropping the tableau row it is basic in (plus the column) removes the
+//!   constraint exactly, leaves every other row untouched, and preserves both
+//!   primal and dual feasibility (the deleted row was non-binding, so its
+//!   multiplier was zero). Deleting a *binding* row would genuinely change
+//!   the basis; that rare case falls back to a cold refactorization and is
+//!   counted in [`IncrementalStats::refactorizations`].
+//!
+//! The state is created from an [`LpProblem`] snapshot (the immutable
+//! "skeleton": variables, objective, base rows); only rows appended through
+//! [`SimplexState::add_row`] can later be deleted incrementally.
+
+use crate::model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
+use crate::simplex::{self, SimplexOptions, SolveStatus, Tableau};
+
+/// Stable handle of a row added to (or created with) a [`SimplexState`].
+///
+/// Row ids are never reused, so a handle stays valid (and simply refers to a
+/// deleted row) after any sequence of additions and deletions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(usize);
+
+/// Counters describing how much work the incremental solver actually did —
+/// the observable behind the "warm starting pays" claim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Solves performed from scratch (initial factorization + fallbacks).
+    pub cold_solves: usize,
+    /// Re-optimizations that reused the previous basis.
+    pub warm_solves: usize,
+    /// Cold refactorizations forced by a deletion the incremental path could
+    /// not express (binding row, or a row still carrying an artificial).
+    pub refactorizations: usize,
+    /// Total simplex pivots, all phases and both pricing directions.
+    pub total_pivots: usize,
+    /// Pivots performed by the dual simplex (subset of `total_pivots`).
+    pub dual_pivots: usize,
+    /// Physical rows appended after construction.
+    pub rows_added: usize,
+    /// Physical rows deleted.
+    pub rows_deleted: usize,
+}
+
+/// One stored (problem-form) row; kept so cold refactorizations can rebuild
+/// the tableau from first principles.
+#[derive(Clone, Debug)]
+struct StoredRow {
+    terms: Vec<(VarId, f64)>,
+    op: ConstraintOp,
+    rhs: f64,
+}
+
+impl StoredRow {
+    fn as_constraint(&self) -> Constraint {
+        Constraint {
+            terms: self.terms.clone(),
+            op: self.op,
+            rhs: self.rhs,
+        }
+    }
+}
+
+/// The live tableau plus the bookkeeping that ties physical rows to their
+/// auxiliary columns.
+struct Factorization {
+    tab: Tableau,
+    /// Maximization-form cost per column (structural costs + zeros).
+    cost: Vec<f64>,
+    /// Per *physical* row: its slack/surplus column, if any.
+    slack_col: Vec<Option<usize>>,
+    /// Per *physical* row: its artificial column, if any.
+    art_col: Vec<Option<usize>>,
+    /// True when rows were appended since the last optimization (the basis
+    /// may be primal infeasible and needs a dual-simplex pass).
+    stale: bool,
+}
+
+/// A linear program whose optimal basis persists across row additions and
+/// deletions, re-optimized by warm-started dual simplex.
+///
+/// ```
+/// use bcast_lp::{ConstraintOp, LpProblem, Sense, SimplexOptions, SimplexState};
+///
+/// // max x + y  s.t.  x ≤ 3, y ≤ 2
+/// let mut lp = LpProblem::new(Sense::Maximize);
+/// let x = lp.add_var("x", 1.0);
+/// let y = lp.add_var("y", 1.0);
+/// lp.add_le(&[(x, 1.0)], 3.0);
+/// lp.add_le(&[(y, 1.0)], 2.0);
+///
+/// let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+/// assert_eq!(state.solve().unwrap().objective, 5.0);
+///
+/// // Append a cut: x + y ≤ 4. The old optimum (3, 2) violates it; the dual
+/// // simplex repairs the basis in a pivot or two instead of re-solving.
+/// let cut = state.add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0).unwrap();
+/// assert_eq!(state.resolve().unwrap().objective, 4.0);
+///
+/// // Delete it again: the relaxed optimum returns.
+/// state.delete_rows(&[cut]).unwrap();
+/// assert_eq!(state.resolve().unwrap().objective, 5.0);
+/// ```
+pub struct SimplexState {
+    options: SimplexOptions,
+    sense: Sense,
+    /// Structural objective coefficients (original sense).
+    objective: Vec<f64>,
+    /// All physical rows ever added, by [`RowId`] order of creation.
+    rows: Vec<StoredRow>,
+    /// Liveness per physical row (deleted rows stay in `rows` as tombstones).
+    live: Vec<bool>,
+    /// Physical rows of each [`RowId`] (an `=` append expands to two rows).
+    groups: Vec<Vec<usize>>,
+    /// Optional secondary objective (maximization form, one coefficient per
+    /// structural variable) optimized over the primary-optimal face after
+    /// every warm re-solve; see [`set_secondary_objective`](Self::set_secondary_objective).
+    secondary: Option<Vec<f64>>,
+    fact: Option<Factorization>,
+    stats: IncrementalStats,
+}
+
+impl SimplexState {
+    /// Snapshots `problem` (variables, objective, constraints) as the base
+    /// of an incremental solver. Nothing is solved yet; the first call to
+    /// [`solve`](Self::solve) / [`resolve`](Self::resolve) factorizes cold.
+    pub fn new(problem: &LpProblem, options: SimplexOptions) -> Result<Self, LpError> {
+        problem.validate()?;
+        let mut state = SimplexState {
+            options,
+            sense: problem.sense(),
+            objective: problem.objective().to_vec(),
+            rows: Vec::new(),
+            live: Vec::new(),
+            groups: Vec::new(),
+            secondary: None,
+            fact: None,
+            stats: IncrementalStats::default(),
+        };
+        for con in problem.constraints() {
+            state.push_group(vec![StoredRow {
+                terms: con.terms.clone(),
+                op: con.op,
+                rhs: con.rhs,
+            }]);
+        }
+        Ok(state)
+    }
+
+    /// Number of structural variables (fixed at construction).
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of live rows (physical; an appended `=` counts as two).
+    pub fn num_rows(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// The accumulated work counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Installs a secondary objective (maximization, one coefficient per
+    /// structural variable) that every [`resolve`](Self::resolve) optimizes
+    /// *within the optimal face* of the primary objective: only columns
+    /// whose primary reduced cost is zero may enter, so the primary optimum
+    /// is provably unchanged (pivoting on a zero-reduced-cost column leaves
+    /// the whole primary reduced-cost row, and hence dual feasibility,
+    /// intact).
+    ///
+    /// Dual re-optimization repairs the basis with the *nearest* vertex,
+    /// which for cut-generation masters is a lazily-patched degenerate
+    /// vertex whose loads separate poorly; pushing a tie-breaking objective
+    /// (e.g. "maximise the total edge load") across the optimal face gives
+    /// the separation oracle a deliberately chosen vertex instead.
+    pub fn set_secondary_objective(&mut self, coefficients: Vec<f64>) {
+        assert_eq!(
+            coefficients.len(),
+            self.num_vars(),
+            "secondary objective must have one coefficient per variable"
+        );
+        self.secondary = Some(coefficients);
+    }
+
+    /// Discards the live factorization so the next
+    /// [`resolve`](Self::resolve) solves cold and adopts the fresh basis —
+    /// an escape hatch when the caller has reason to distrust the current
+    /// basis. Counted in [`IncrementalStats::refactorizations`] only when a
+    /// factorization was actually alive.
+    pub fn invalidate(&mut self) {
+        if self.fact.take().is_some() {
+            self.stats.refactorizations += 1;
+        }
+    }
+
+    /// Appends one constraint and returns its handle. The solver is not
+    /// re-optimized until the next [`resolve`](Self::resolve).
+    ///
+    /// `≥` rows are stored negated as `≤` rows so every appended row carries
+    /// exactly one slack column (no artificials, hence no phase 1); an `=`
+    /// row expands to the `≤`/`≥` pair under a single handle.
+    pub fn add_row(
+        &mut self,
+        terms: &[(VarId, f64)],
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<RowId, LpError> {
+        let ids = self.add_rows(&[Constraint {
+            terms: terms.to_vec(),
+            op,
+            rhs,
+        }])?;
+        Ok(ids[0])
+    }
+
+    /// Appends several constraints (see [`add_row`](Self::add_row)) and
+    /// returns one handle per constraint. Batching matters on a live
+    /// factorization: the tableau is widened by all the new slack columns in
+    /// one re-stride instead of once per row.
+    pub fn add_rows(&mut self, rows: &[Constraint]) -> Result<Vec<RowId>, LpError> {
+        for con in rows {
+            self.validate_terms(&con.terms, con.rhs)?;
+        }
+        let first_physical = self.rows.len();
+        let mut ids = Vec::with_capacity(rows.len());
+        for con in rows {
+            let negated = || {
+                con.terms
+                    .iter()
+                    .map(|&(v, c)| (v, -c))
+                    .collect::<Vec<(VarId, f64)>>()
+            };
+            let physical = match con.op {
+                ConstraintOp::Le => vec![StoredRow {
+                    terms: con.terms.clone(),
+                    op: ConstraintOp::Le,
+                    rhs: con.rhs,
+                }],
+                ConstraintOp::Ge => vec![StoredRow {
+                    terms: negated(),
+                    op: ConstraintOp::Le,
+                    rhs: -con.rhs,
+                }],
+                ConstraintOp::Eq => vec![
+                    StoredRow {
+                        terms: con.terms.clone(),
+                        op: ConstraintOp::Le,
+                        rhs: con.rhs,
+                    },
+                    StoredRow {
+                        terms: negated(),
+                        op: ConstraintOp::Le,
+                        rhs: -con.rhs,
+                    },
+                ],
+            };
+            self.stats.rows_added += physical.len();
+            ids.push(self.push_group(physical));
+        }
+        let count = self.rows.len() - first_physical;
+        if let Some(fact) = self.fact.as_mut() {
+            // One re-stride for the whole batch: every new physical row gets
+            // the next slack column in order.
+            let first_slack = fact.tab.cols;
+            grow_columns(&mut fact.tab, count);
+            fact.cost.resize(fact.tab.cols, 0.0);
+            for (i, p) in (first_physical..first_physical + count).enumerate() {
+                self.append_to_tableau(p, first_slack + i);
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Deletes the given rows. Non-binding rows (slack basic) are removed in
+    /// place, preserving the optimal basis; a binding or artificial-carrying
+    /// row forces a cold refactorization on the next solve. Ids of rows
+    /// already deleted are ignored.
+    ///
+    /// A handle this state never issued is rejected up front
+    /// ([`LpError::UnknownRow`]) with the state untouched, so a failed call
+    /// can never leave the factorization disagreeing with the stored rows.
+    pub fn delete_rows(&mut self, ids: &[RowId]) -> Result<(), LpError> {
+        if let Some(&RowId(bad)) = ids.iter().find(|&&RowId(id)| id >= self.groups.len()) {
+            return Err(LpError::UnknownRow(bad));
+        }
+        let mut needs_refactor = false;
+        for &RowId(id) in ids {
+            for p in self.groups[id].clone() {
+                if !self.live[p] {
+                    continue;
+                }
+                self.live[p] = false;
+                self.stats.rows_deleted += 1;
+                if let Some(fact) = self.fact.as_mut() {
+                    needs_refactor |= !remove_physical_row(fact, p);
+                }
+            }
+        }
+        if needs_refactor {
+            self.fact = None;
+            self.stats.refactorizations += 1;
+        }
+        Ok(())
+    }
+
+    /// Solves (or re-solves) the problem. Identical to
+    /// [`resolve`](Self::resolve); both names exist because the first call
+    /// is necessarily a cold solve while later calls are warm.
+    pub fn solve(&mut self) -> Result<LpSolution, LpError> {
+        self.resolve()
+    }
+
+    /// Re-optimizes after row changes: a dual-simplex pass restores primal
+    /// feasibility from the prior basis, then a (normally zero-pivot) primal
+    /// pass certifies optimality. Falls back to a cold two-phase solve when
+    /// no factorization is alive.
+    ///
+    /// The warm passes run under a budget proportional to the tableau size;
+    /// any outcome other than a clean optimum (degenerate stall, apparent
+    /// infeasibility, numerical drift) discards the factorization and
+    /// re-solves cold, which is authoritative for the feasible / unbounded
+    /// verdict and is counted in [`IncrementalStats::refactorizations`].
+    pub fn resolve(&mut self) -> Result<LpSolution, LpError> {
+        if self.fact.is_none() {
+            return self.cold_solve();
+        }
+        let options = self.options;
+        let fact = self.fact.as_mut().expect("factorization alive");
+        // Deliberately far below the cold solver's budget: a warm re-solve
+        // normally needs a handful of pivots, and a warm pass that does not
+        // converge quickly is numerically suspect — better to refactorize
+        // than to chase a drifting basis.
+        let budget = (4 * (fact.tab.rows + fact.tab.cols)).max(200);
+        let mut pivots = 0usize;
+        let mut clean = true;
+        if fact.stale {
+            let (status, iters) =
+                simplex::dual_simplex(&mut fact.tab, &fact.cost, &options, budget);
+            pivots += iters;
+            self.stats.dual_pivots += iters;
+            clean = status == SolveStatus::Optimal;
+        }
+        if clean {
+            // Primal cleanup: after a clean dual pass (or a pure deletion)
+            // the basis is already optimal and this prices out in zero
+            // pivots; it guards the rare case where floating-point drift
+            // left a column with a marginally positive reduced cost.
+            let remaining = budget.saturating_sub(pivots).max(100);
+            let (status, iters) = simplex::optimize(&mut fact.tab, &fact.cost, &options, remaining);
+            pivots += iters;
+            clean = status == SolveStatus::Optimal;
+        }
+        if !clean {
+            self.stats.total_pivots += pivots;
+            // Stall, apparent infeasibility, or a soured basis: discard the
+            // factorization and let the cold two-phase solve give the
+            // authoritative answer. Warm starting can therefore never change
+            // *what* is returned, only how many pivots it takes. The wasted
+            // warm pivots are charged to the returned solution so callers'
+            // iteration totals stay honest.
+            self.fact = None;
+            self.stats.refactorizations += 1;
+            let mut solution = self.cold_solve()?;
+            solution.iterations += pivots;
+            return Ok(solution);
+        }
+        pivots += self.push_secondary();
+        self.stats.total_pivots += pivots;
+        let fact = self.fact.as_mut().expect("factorization alive");
+        fact.stale = false;
+        self.stats.warm_solves += 1;
+        Ok(self.extract(pivots))
+    }
+
+    /// The problem (base + live appended rows) as a plain [`LpProblem`] —
+    /// the cold-solver view, used by the differential tests.
+    pub fn to_problem(&self) -> LpProblem {
+        let mut lp = LpProblem::new(self.sense);
+        for (i, &c) in self.objective.iter().enumerate() {
+            lp.add_var(format!("x{i}"), c);
+        }
+        for (p, row) in self.rows.iter().enumerate() {
+            if self.live[p] {
+                lp.add_constraint(&row.terms, row.op, row.rhs);
+            }
+        }
+        lp
+    }
+
+    fn push_group(&mut self, physical: Vec<StoredRow>) -> RowId {
+        let id = RowId(self.groups.len());
+        let mut indices = Vec::with_capacity(physical.len());
+        for row in physical {
+            indices.push(self.rows.len());
+            self.rows.push(row);
+            self.live.push(true);
+        }
+        self.groups.push(indices);
+        id
+    }
+
+    fn validate_terms(&self, terms: &[(VarId, f64)], rhs: f64) -> Result<(), LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NotFinite);
+        }
+        for &(v, c) in terms {
+            if v.index() >= self.num_vars() {
+                return Err(LpError::UnknownVariable(v));
+            }
+            if !c.is_finite() {
+                return Err(LpError::NotFinite);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cold path: assemble every live row from scratch and run the ordinary
+    /// two-phase solve, then adopt the resulting basis as the warm state.
+    fn cold_solve(&mut self) -> Result<LpSolution, LpError> {
+        let n = self.num_vars();
+        let live_physical: Vec<usize> = (0..self.rows.len()).filter(|&p| self.live[p]).collect();
+        let constraints: Vec<Constraint> = live_physical
+            .iter()
+            .map(|&p| self.rows[p].as_constraint())
+            .collect();
+        let asm = simplex::assemble(n, &constraints);
+        let mut cost = vec![0.0; asm.tab.cols];
+        let sign = match self.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        for (j, &c) in self.objective.iter().enumerate() {
+            cost[j] = sign * c;
+        }
+        // Scatter the per-assembled-row column map back onto physical rows.
+        let mut slack_col = vec![None; self.rows.len()];
+        let mut art_col = vec![None; self.rows.len()];
+        for (i, &p) in live_physical.iter().enumerate() {
+            slack_col[p] = asm.slack_col[i];
+            art_col[p] = asm.art_col[i];
+        }
+        let mut fact = Factorization {
+            tab: asm.tab,
+            cost,
+            slack_col,
+            art_col,
+            stale: false,
+        };
+        let pivots = match simplex::two_phase(
+            &mut fact.tab,
+            &asm.artificial_cols,
+            &fact.cost,
+            &self.options,
+        ) {
+            Ok(pivots) => pivots,
+            Err(e) => {
+                self.fact = None;
+                return Err(e);
+            }
+        };
+        self.fact = Some(fact);
+        let pivots = pivots + self.push_secondary();
+        self.stats.cold_solves += 1;
+        self.stats.total_pivots += pivots;
+        Ok(self.extract(pivots))
+    }
+
+    /// Physically appends stored row `p` (always `≤` form) to the live
+    /// tableau, into the pre-widened `slack` column: one elimination pass to
+    /// express the row in the current basis, slack basic. The right-hand
+    /// side may come out negative — that is the dual simplex's cue.
+    fn append_to_tableau(&mut self, p: usize, slack: usize) {
+        let n = self.num_vars();
+        let fact = self.fact.as_mut().expect("factorization alive");
+        fact.slack_col.resize(self.rows.len(), None);
+        fact.art_col.resize(self.rows.len(), None);
+        let tab = &mut fact.tab;
+
+        let mut raw = vec![0.0; tab.cols];
+        for &(v, c) in &self.rows[p].terms {
+            raw[v.index()] += c;
+        }
+        let mut rhs = self.rows[p].rhs;
+        simplex::equilibrate_row(&mut raw[..n], &mut rhs);
+        raw[slack] = 1.0;
+        // Express the row in the current basis: subtract multiples of the
+        // existing tableau rows until every basic column is zero. The basic
+        // columns form an identity submatrix, so one ascending pass is exact.
+        for r in 0..tab.rows {
+            let bc = tab.basis[r];
+            let factor = raw[bc];
+            if factor == 0.0 {
+                continue;
+            }
+            let row = tab.row(r).to_vec();
+            for (value, &coeff) in raw.iter_mut().zip(&row) {
+                *value -= factor * coeff;
+            }
+            raw[bc] = 0.0;
+            rhs -= factor * tab.b[r];
+        }
+        tab.a.extend_from_slice(&raw);
+        tab.b.push(rhs);
+        tab.basis.push(slack);
+        tab.rows += 1;
+        fact.slack_col[p] = Some(slack);
+        fact.art_col[p] = None;
+        fact.stale = true;
+    }
+
+    /// Optimizes the secondary objective over the primary-optimal face:
+    /// columns with a strictly negative primary reduced cost are barred, so
+    /// every pivot exchanges degenerate-optimal vertices and the primary
+    /// reduced-cost row (hence both primal and dual feasibility of the
+    /// primary problem) is left exactly intact. Best effort: a stall simply
+    /// keeps the current (already optimal) vertex. Returns the pivot count.
+    fn push_secondary(&mut self) -> usize {
+        let Some(secondary) = self.secondary.as_ref() else {
+            return 0;
+        };
+        let options = self.options;
+        let fact = self.fact.as_mut().expect("factorization alive");
+        let tab = &mut fact.tab;
+        let d = simplex::reduced_costs(tab, &fact.cost);
+        let mut barred: Vec<usize> = Vec::new();
+        for (j, &dj) in d.iter().enumerate() {
+            if tab.allowed[j] && dj < -options.cost_tolerance {
+                tab.allowed[j] = false;
+                barred.push(j);
+            }
+        }
+        let mut cost2 = vec![0.0; tab.cols];
+        cost2[..secondary.len()].copy_from_slice(secondary);
+        let budget = (4 * (tab.rows + tab.cols)).max(200);
+        let (_, iterations) = simplex::optimize(tab, &cost2, &options, budget);
+        for j in barred {
+            tab.allowed[j] = true;
+        }
+        iterations
+    }
+
+    fn extract(&self, pivots: usize) -> LpSolution {
+        let fact = self.fact.as_ref().expect("factorization alive");
+        let values = simplex::extract_values(&fact.tab, self.num_vars());
+        let objective = self.objective.iter().zip(&values).map(|(c, x)| c * x).sum();
+        LpSolution {
+            objective,
+            values,
+            status: SolveStatus::Optimal,
+            iterations: pivots,
+        }
+    }
+}
+
+/// Widens the tableau by `extra` (zero) columns in one re-stride,
+/// preserving row contents.
+fn grow_columns(tab: &mut Tableau, extra: usize) {
+    if extra == 0 {
+        return;
+    }
+    let old_cols = tab.cols;
+    let new_cols = old_cols + extra;
+    let mut a = vec![0.0; tab.rows * new_cols];
+    for r in 0..tab.rows {
+        a[r * new_cols..r * new_cols + old_cols]
+            .copy_from_slice(&tab.a[r * old_cols..(r + 1) * old_cols]);
+    }
+    tab.a = a;
+    tab.cols = new_cols;
+    tab.allowed.resize(new_cols, true);
+}
+
+/// Tries to remove physical row `p` from the live tableau without breaking
+/// the basis. Returns `false` when only a cold refactorization can express
+/// the deletion (binding row, or a row still carrying a basic artificial).
+fn remove_physical_row(fact: &mut Factorization, p: usize) -> bool {
+    // A lingering basic artificial (degenerate redundant row) pins the
+    // basis in a way plain row removal cannot untangle.
+    if let Some(art) = fact.art_col[p] {
+        if fact.tab.basis.contains(&art) {
+            return false;
+        }
+        bar_column(&mut fact.tab, art);
+    }
+    let Some(slack) = fact.slack_col[p] else {
+        // An initial `=` row has no slack; there is no column to carry the
+        // deletion through the basis.
+        return false;
+    };
+    // The slack basic in some row k means its tableau column is the unit
+    // vector e_k: the constraint's only footprint is tableau row k, so
+    // removing that row (and the column) removes the constraint exactly and
+    // leaves every other row, the right-hand sides, and the reduced costs
+    // untouched — the remaining basis is still primal and dual feasible.
+    let Some(k) = fact.tab.basis.iter().position(|&bc| bc == slack) else {
+        // Slack nonbasic: the row is binding, deletion moves the optimum.
+        return false;
+    };
+    let tab = &mut fact.tab;
+    let cols = tab.cols;
+    tab.a.drain(k * cols..(k + 1) * cols);
+    tab.b.remove(k);
+    tab.basis.remove(k);
+    tab.rows -= 1;
+    bar_column(tab, slack);
+    fact.slack_col[p] = None;
+    fact.art_col[p] = None;
+    true
+}
+
+/// Bars a (now meaningless) column from ever entering the basis and zeroes
+/// its residual coefficients so stale values cannot perturb later pivots.
+fn bar_column(tab: &mut Tableau, col: usize) {
+    tab.allowed[col] = false;
+    for r in 0..tab.rows {
+        tab.a[r * tab.cols + col] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    fn base_problem() -> (LpProblem, VarId, VarId) {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), z = 36.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 3.0);
+        let y = lp.add_var("y", 5.0);
+        lp.add_le(&[(x, 1.0)], 4.0);
+        lp.add_le(&[(y, 2.0)], 12.0);
+        lp.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        (lp, x, y)
+    }
+
+    #[test]
+    fn first_solve_matches_the_cold_solver() {
+        let (lp, _, _) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        let warm = state.solve().unwrap();
+        let cold = lp.solve().unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert_eq!(state.stats().cold_solves, 1);
+    }
+
+    #[test]
+    fn appended_cut_is_reoptimized_dually() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 6.0)
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        let cold = state.to_problem().solve().unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert!(state.stats().dual_pivots > 0, "dual simplex never ran");
+        assert_eq!(state.stats().cold_solves, 1, "append fell back to cold");
+    }
+
+    #[test]
+    fn ge_and_eq_appends_agree_with_cold() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        state
+            .add_row(&[(x, 1.0), (y, -1.0)], ConstraintOp::Ge, 0.0)
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        assert_close(
+            warm.objective,
+            state.to_problem().solve().unwrap().objective,
+        );
+        state.add_row(&[(x, 1.0)], ConstraintOp::Eq, 1.0).unwrap();
+        let warm = state.resolve().unwrap();
+        assert_close(
+            warm.objective,
+            state.to_problem().solve().unwrap().objective,
+        );
+    }
+
+    #[test]
+    fn deleting_a_nonbinding_row_is_free() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        // x + y ≤ 100 is slack at (2, 6): deletion must not refactorize.
+        let id = state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 100.0)
+            .unwrap();
+        state.resolve().unwrap();
+        let pivots_before = state.stats().total_pivots;
+        state.delete_rows(&[id]).unwrap();
+        let sol = state.resolve().unwrap();
+        assert_close(sol.objective, 36.0);
+        assert_eq!(state.stats().refactorizations, 0);
+        assert_eq!(state.stats().total_pivots, pivots_before);
+    }
+
+    #[test]
+    fn deleting_a_binding_row_refactorizes_and_recovers() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let id = state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 5.0)
+            .unwrap();
+        let constrained = state.resolve().unwrap();
+        assert!(constrained.objective < 36.0 - 1e-7);
+        state.delete_rows(&[id]).unwrap();
+        let relaxed = state.resolve().unwrap();
+        assert_close(relaxed.objective, 36.0);
+        assert_eq!(state.stats().refactorizations, 1);
+    }
+
+    #[test]
+    fn infeasible_append_is_detected() {
+        let (lp, x, _) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        state.add_row(&[(x, 1.0)], ConstraintOp::Le, -1.0).unwrap();
+        assert_eq!(state.resolve().unwrap_err(), LpError::Infeasible);
+        // The state recovers by cold-solving once the offender is gone…
+        // (the factorization was discarded, so this exercises the rebuild).
+        assert_eq!(state.resolve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn double_delete_is_idempotent() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let id = state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 50.0)
+            .unwrap();
+        state.resolve().unwrap();
+        let deleted_before = state.stats().rows_deleted;
+        state.delete_rows(&[id]).unwrap();
+        state.delete_rows(&[id]).unwrap();
+        assert_eq!(state.stats().rows_deleted, deleted_before + 1);
+        assert_close(state.resolve().unwrap().objective, 36.0);
+    }
+
+    #[test]
+    fn rows_added_before_first_solve_are_folded_into_the_cold_factorization() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        let id = state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 6.0)
+            .unwrap();
+        let sol = state.solve().unwrap();
+        assert_close(sol.objective, state.to_problem().solve().unwrap().objective);
+        // …and can still be deleted incrementally afterwards (they are ≤
+        // rows, so the cold assembly gave them a slack column).
+        state.delete_rows(&[id]).unwrap();
+        assert_close(state.resolve().unwrap().objective, 36.0);
+    }
+
+    #[test]
+    fn unknown_variable_and_nonfinite_rows_are_rejected() {
+        let (lp, x, _) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        assert_eq!(
+            state
+                .add_row(&[(VarId(9), 1.0)], ConstraintOp::Le, 1.0)
+                .unwrap_err(),
+            LpError::UnknownVariable(VarId(9))
+        );
+        assert_eq!(
+            state
+                .add_row(&[(x, f64::NAN)], ConstraintOp::Le, 1.0)
+                .unwrap_err(),
+            LpError::NotFinite
+        );
+    }
+
+    #[test]
+    fn secondary_objective_picks_a_vertex_of_the_optimal_face() {
+        // max x + y s.t. x + y ≤ 4, x ≤ 3, y ≤ 3: the optimal face is the
+        // whole segment x + y = 4, x ∈ [1, 3]. The secondary objective
+        // "maximise x" must land on (3, 1) without degrading the optimum,
+        // and must keep holding across warm re-solves.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 1.0);
+        lp.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        lp.add_le(&[(x, 1.0)], 3.0);
+        lp.add_le(&[(y, 1.0)], 3.0);
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.set_secondary_objective(vec![1.0, 0.0]);
+        let sol = state.solve().unwrap();
+        assert_close(sol.objective, 4.0);
+        assert_close(sol.value(x), 3.0);
+        assert_close(sol.value(y), 1.0);
+        // Append x ≤ 2: the face shifts; the secondary pick follows it.
+        state.add_row(&[(x, 1.0)], ConstraintOp::Le, 2.0).unwrap();
+        let sol = state.resolve().unwrap();
+        assert_close(sol.objective, 4.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn delete_with_an_unknown_id_is_rejected_and_leaves_the_state_untouched() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let id = state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 5.0)
+            .unwrap();
+        let constrained = state.resolve().unwrap();
+        // The batch mixes a valid (binding!) row with a bogus handle: the
+        // whole call must fail without deleting anything, or the live basis
+        // would disagree with the stored rows.
+        let err = state.delete_rows(&[id, RowId(9_999)]).unwrap_err();
+        assert_eq!(err, LpError::UnknownRow(9_999));
+        assert_eq!(state.num_rows(), 4, "a row was deleted despite the error");
+        let sol = state.resolve().unwrap();
+        assert_close(sol.objective, constrained.objective);
+        assert_close(sol.objective, state.to_problem().solve().unwrap().objective);
+    }
+
+    #[test]
+    fn invalidate_forces_a_cold_resolve_with_the_same_optimum() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 6.0)
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        state.invalidate();
+        assert_eq!(state.stats().refactorizations, 1);
+        state.invalidate(); // no factorization alive: a no-op
+        assert_eq!(state.stats().refactorizations, 1);
+        let cold = state.resolve().unwrap();
+        assert_close(cold.objective, warm.objective);
+        assert_eq!(state.stats().cold_solves, 2);
+    }
+
+    #[test]
+    fn degenerate_zero_rhs_ge_appends_terminate() {
+        // The PR 1 stall class: `Σ ±x ≥ 0` rows are fully degenerate. A
+        // chain of them must terminate and agree with the cold solver.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<VarId> = (0..4).map(|i| lp.add_var(format!("x{i}"), 1.0)).collect();
+        for &v in &vars {
+            lp.add_le(&[(v, 1.0)], 3.0);
+        }
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        for i in 0..vars.len() {
+            let j = (i + 1) % vars.len();
+            state
+                .add_row(&[(vars[i], 1.0), (vars[j], -1.0)], ConstraintOp::Ge, 0.0)
+                .unwrap();
+            let warm = state.resolve().unwrap();
+            let cold = state.to_problem().solve().unwrap();
+            assert_close(warm.objective, cold.objective);
+        }
+    }
+}

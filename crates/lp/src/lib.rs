@@ -9,6 +9,9 @@
 //!   constraints (`≤`, `≥`, `=`), a linear objective to maximise or minimise.
 //! * [`solve`] / [`LpProblem::solve`] — two-phase simplex with a Dantzig
 //!   pricing rule and a Bland anti-cycling fallback.
+//! * [`SimplexState`] — an *incremental* solver: the optimal basis persists
+//!   across appended and deleted rows and is re-optimized by warm-started
+//!   dual simplex (the cut-generation master LP is the intended customer).
 //! * [`LpSolution`] — objective value and per-variable values.
 //!
 //! The solver is exact enough for the moderately sized LPs of this
@@ -32,9 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod model;
 pub mod simplex;
 
+pub use incremental::{IncrementalStats, RowId, SimplexState};
 pub use model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
 pub use simplex::{solve, SimplexOptions, SolveStatus};
 

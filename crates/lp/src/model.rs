@@ -70,6 +70,9 @@ pub enum LpError {
     IterationLimit,
     /// A constraint or the objective referenced an unknown variable.
     UnknownVariable(VarId),
+    /// A row handle passed to the incremental solver was never issued by it
+    /// (carries the raw row index).
+    UnknownRow(usize),
     /// A coefficient or right-hand side was not finite.
     NotFinite,
 }
@@ -81,6 +84,7 @@ impl fmt::Display for LpError {
             LpError::Unbounded => write!(f, "the linear program is unbounded"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             LpError::UnknownVariable(v) => write!(f, "unknown variable x{}", v.0),
+            LpError::UnknownRow(r) => write!(f, "unknown row handle #{r}"),
             LpError::NotFinite => write!(f, "non-finite coefficient in the model"),
         }
     }

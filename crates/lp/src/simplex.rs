@@ -63,32 +63,36 @@ impl Default for SimplexOptions {
 }
 
 /// Dense simplex tableau: `rows × cols` coefficients plus a right-hand side.
-struct Tableau {
-    rows: usize,
-    cols: usize,
+///
+/// Shared between the one-shot two-phase solver below and the incremental
+/// [`crate::incremental::SimplexState`], which keeps a tableau alive across
+/// row additions and deletions.
+pub(crate) struct Tableau {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
     /// Row-major coefficient matrix (`rows × cols`).
-    a: Vec<f64>,
+    pub(crate) a: Vec<f64>,
     /// Right-hand side, one entry per row.
-    b: Vec<f64>,
+    pub(crate) b: Vec<f64>,
     /// Index of the basic variable of each row.
-    basis: Vec<usize>,
+    pub(crate) basis: Vec<usize>,
     /// Columns that may enter the basis (artificials are barred in phase 2).
-    allowed: Vec<bool>,
+    pub(crate) allowed: Vec<bool>,
 }
 
 impl Tableau {
     #[inline]
-    fn at(&self, r: usize, c: usize) -> f64 {
+    pub(crate) fn at(&self, r: usize, c: usize) -> f64 {
         self.a[r * self.cols + c]
     }
 
     #[inline]
-    fn row(&self, r: usize) -> &[f64] {
+    pub(crate) fn row(&self, r: usize) -> &[f64] {
         &self.a[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Performs the elimination step for a chosen pivot.
-    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+    pub(crate) fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
         let cols = self.cols;
         // Normalise the pivot row.
         let pv = self.at(pivot_row, pivot_col);
@@ -124,7 +128,7 @@ impl Tableau {
 /// Runs the simplex method on `tab`, maximising the objective whose
 /// coefficients are `cost` (one per tableau column). Returns the status and
 /// the number of pivots performed.
-fn optimize(
+pub(crate) fn optimize(
     tab: &mut Tableau,
     cost: &[f64],
     options: &SimplexOptions,
@@ -133,16 +137,7 @@ fn optimize(
     let rows = tab.rows;
     // Reduced-cost row: d[j] = c[j] - c_B' B^{-1} A_j. A column may enter
     // while d[j] > tolerance.
-    let mut d = cost.to_vec();
-    for r in 0..rows {
-        let cb = cost[tab.basis[r]];
-        if cb != 0.0 {
-            let row = tab.row(r).to_vec();
-            for (j, dj) in d.iter_mut().enumerate() {
-                *dj -= cb * row[j];
-            }
-        }
-    }
+    let mut d = reduced_costs(tab, cost);
     let mut iterations = 0usize;
     let mut degenerate_run = 0usize;
     // Once a long degenerate run triggers Bland's rule we keep it for the rest
@@ -220,16 +215,185 @@ fn optimize(
         // incremental updates accumulate floating-point drift over long
         // degenerate runs, which can make the pricing step chase noise.
         if iterations.is_multiple_of(512) {
-            d.copy_from_slice(cost);
+            d = reduced_costs(tab, cost);
+        }
+    }
+}
+
+/// Reduced-cost row of `tab` for `cost`: `d[j] = c[j] − c_B' B^{-1} A_j`.
+pub(crate) fn reduced_costs(tab: &Tableau, cost: &[f64]) -> Vec<f64> {
+    let mut d = cost.to_vec();
+    for r in 0..tab.rows {
+        let cb = cost[tab.basis[r]];
+        if cb != 0.0 {
+            let row = tab.row(r).to_vec();
+            for (j, dj) in d.iter_mut().enumerate() {
+                *dj -= cb * row[j];
+            }
+        }
+    }
+    d
+}
+
+/// Runs the **dual simplex** method on `tab`, maximising the objective whose
+/// coefficients are `cost`.
+///
+/// Preconditions: the current basis is *dual feasible* (every allowed column
+/// prices out, `d[j] ≤ cost_tolerance`) but possibly primal infeasible (some
+/// `b[r] < 0`). This is exactly the state after appending rows to a
+/// previously optimal tableau: the old reduced costs are untouched, the new
+/// rows' slacks price out at zero, and only the right-hand sides of the new
+/// rows may be violated.
+///
+/// Each iteration chooses the most-infeasible row to leave the basis and the
+/// entering column by the dual ratio test `min d[j] / a[r][j]` over
+/// `a[r][j] < 0`, which keeps the reduced costs non-positive. A row with no
+/// negative entry proves the appended constraint cannot be satisfied, i.e.
+/// the problem became [`SolveStatus::Infeasible`]. Like the primal loop,
+/// pricing falls back to a Bland-style smallest-index rule after a run of
+/// degenerate steps so termination is guaranteed.
+pub(crate) fn dual_simplex(
+    tab: &mut Tableau,
+    cost: &[f64],
+    options: &SimplexOptions,
+    max_iterations: usize,
+) -> (SolveStatus, usize) {
+    let rows = tab.rows;
+    let mut d = reduced_costs(tab, cost);
+    let feas = options.feasibility_tolerance;
+    let mut iterations = 0usize;
+    let mut degenerate_run = 0usize;
+    let mut bland_sticky = false;
+    // Stall detection: dual-degenerate plateaus on cut LPs can be thousands
+    // of pivots deep, and walking them is slower than handing the problem
+    // back for a cold re-solve. Track the total primal infeasibility and
+    // give up after a long run without improvement (or when the tableau
+    // magnitudes blow up, the signature of repeated near-tolerance pivots).
+    let infeasibility =
+        |tab: &Tableau| -> f64 { tab.b.iter().map(|&v| (-v).max(0.0)).sum::<f64>() };
+    let initial_infeasibility = infeasibility(tab);
+    let mut best_infeasibility = initial_infeasibility;
+    let mut no_progress = 0usize;
+    let stall_limit = 4 * options.bland_threshold.max(16);
+    loop {
+        if degenerate_run >= options.bland_threshold {
+            bland_sticky = true;
+        }
+        // Leaving row: most negative right-hand side (under the Bland
+        // fallback: the infeasible row whose basic variable has the smallest
+        // index, which breaks dual-degenerate cycles).
+        let mut leaving: Option<usize> = None;
+        if bland_sticky {
+            let mut best_basis = usize::MAX;
             for r in 0..rows {
-                let cb = cost[tab.basis[r]];
-                if cb != 0.0 {
-                    let row = tab.row(r).to_vec();
-                    for (j, dj) in d.iter_mut().enumerate() {
-                        *dj -= cb * row[j];
+                if tab.b[r] < -feas && tab.basis[r] < best_basis {
+                    best_basis = tab.basis[r];
+                    leaving = Some(r);
+                }
+            }
+        } else {
+            let mut most_negative = -feas;
+            for r in 0..rows {
+                if tab.b[r] < most_negative {
+                    most_negative = tab.b[r];
+                    leaving = Some(r);
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            // Primal feasible again; combined with dual feasibility this
+            // basis is optimal.
+            return (SolveStatus::Optimal, iterations);
+        };
+        if iterations >= max_iterations {
+            return (SolveStatus::IterationLimit, iterations);
+        }
+        // Entering column: dual ratio test. `d[j] ≤ 0` (up to tolerance) and
+        // `a[row][j] < 0`, so the ratio is non-negative; the minimum ratio
+        // keeps every reduced cost non-positive after the pivot.
+        //
+        // Cut-generation masters are massively dual degenerate (most reduced
+        // costs sit at zero), so the minimum ratio is usually attained by
+        // many columns at once. Picking among them blindly invites pivots on
+        // near-tolerance elements whose division blows the tableau up, so a
+        // second pass chooses the largest-magnitude pivot among the
+        // near-minimal ratios (a poor man's Harris test). The Bland fallback
+        // instead takes the smallest column index, whose anti-cycling
+        // guarantee needs the exact minimum.
+        let mut best_ratio = f64::INFINITY;
+        let mut entering: Option<usize> = None;
+        {
+            let tab_row = tab.row(row);
+            for (&a, (&dj, &ok)) in tab_row.iter().zip(d.iter().zip(&tab.allowed)) {
+                if !ok || a >= -options.pivot_tolerance {
+                    continue;
+                }
+                let ratio = dj.min(0.0) / a;
+                if ratio < best_ratio {
+                    best_ratio = ratio;
+                }
+            }
+            if best_ratio.is_finite() {
+                let ratio_slack = 1e-9 * (1.0 + best_ratio.abs());
+                let mut best_pivot = 0.0f64;
+                for (j, (&a, (&dj, &ok))) in
+                    tab_row.iter().zip(d.iter().zip(&tab.allowed)).enumerate()
+                {
+                    if !ok || a >= -options.pivot_tolerance {
+                        continue;
+                    }
+                    let ratio = dj.min(0.0) / a;
+                    if ratio > best_ratio + ratio_slack {
+                        continue;
+                    }
+                    if bland_sticky {
+                        // Smallest index attaining (near) the minimum.
+                        entering = Some(j);
+                        break;
+                    }
+                    if a.abs() > best_pivot {
+                        best_pivot = a.abs();
+                        entering = Some(j);
                     }
                 }
             }
+        }
+        let Some(col) = entering else {
+            // The violated row has only non-negative coefficients on the
+            // non-basic side: it can never be satisfied by x ≥ 0.
+            return (SolveStatus::Infeasible, iterations);
+        };
+        degenerate_run = if best_ratio.abs() <= 1e-9 {
+            degenerate_run + 1
+        } else {
+            0
+        };
+        tab.pivot(row, col);
+        // Update the reduced-cost row by the same elimination.
+        let factor = d[col];
+        if factor != 0.0 {
+            let prow = tab.row(row).to_vec();
+            for (j, dj) in d.iter_mut().enumerate() {
+                *dj -= factor * prow[j];
+            }
+            d[col] = 0.0;
+        }
+        iterations += 1;
+        if iterations.is_multiple_of(512) {
+            d = reduced_costs(tab, cost);
+        }
+        let current = infeasibility(tab);
+        if current < best_infeasibility * (1.0 - 1e-9) {
+            best_infeasibility = current;
+            no_progress = 0;
+        } else {
+            no_progress += 1;
+            if no_progress >= stall_limit {
+                return (SolveStatus::IterationLimit, iterations);
+            }
+        }
+        if !current.is_finite() || current > 1e8 * initial_infeasibility.max(1.0) {
+            return (SolveStatus::IterationLimit, iterations);
         }
     }
 }
@@ -247,7 +411,7 @@ fn optimize(
 ///    row — decisive for cut-generation masters, whose cut rows all have a
 ///    zero right-hand side and would otherwise force a large, fully
 ///    degenerate phase 1 on every re-solve.
-fn normalize_constraint(con: &crate::model::Constraint) -> (ConstraintOp, f64) {
+pub(crate) fn normalize_constraint(con: &crate::model::Constraint) -> (ConstraintOp, f64) {
     let flip = con.rhs < 0.0;
     let mut sign = if flip { -1.0 } else { 1.0 };
     let mut op = if flip {
@@ -266,17 +430,31 @@ fn normalize_constraint(con: &crate::model::Constraint) -> (ConstraintOp, f64) {
     (op, sign)
 }
 
-/// Solves `problem` with the given options.
-pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
-    problem.validate()?;
-    let n = problem.num_vars();
-    let m = problem.num_constraints();
+/// A freshly assembled tableau plus the per-row auxiliary-column map.
+///
+/// The map (`slack_col[r]` / `art_col[r]`) is what lets the incremental
+/// solver delete a row later: a row whose slack is basic can be dropped
+/// together with its (unit) slack column without disturbing the rest of the
+/// basis.
+pub(crate) struct Assembled {
+    pub(crate) tab: Tableau,
+    /// Every artificial column, in assembly order (phase-1 objective).
+    pub(crate) artificial_cols: Vec<usize>,
+    /// Slack/surplus column of each row, if the row got one.
+    pub(crate) slack_col: Vec<Option<usize>>,
+    /// Artificial column of each row, if the row got one.
+    pub(crate) art_col: Vec<Option<usize>>,
+}
 
+/// Assembles the tableau for `constraints` over `n` structural variables.
+/// Column layout: `[structural | slack/surplus | artificial]`.
+pub(crate) fn assemble(n: usize, constraints: &[crate::model::Constraint]) -> Assembled {
+    let m = constraints.len();
     // Count auxiliary columns with the same normalization the assembly loop
     // applies, so the column layout and the written rows cannot desync.
     let mut num_slack = 0usize; // one per <= or >= row
     let mut num_artificial = 0usize; // one per >= or = row
-    for c in problem.constraints() {
+    for c in constraints {
         match normalize_constraint(c).0 {
             ConstraintOp::Le => num_slack += 1,
             ConstraintOp::Ge => {
@@ -286,7 +464,6 @@ pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
             ConstraintOp::Eq => num_artificial += 1,
         }
     }
-    // Column layout: [structural | slack/surplus | artificial]
     let slack_base = n;
     let art_base = n + num_slack;
     let cols = n + num_slack + num_artificial;
@@ -304,7 +481,9 @@ pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
     let mut next_slack = slack_base;
     let mut next_art = art_base;
     let mut artificial_cols: Vec<usize> = Vec::with_capacity(num_artificial);
-    for (r, con) in problem.constraints().iter().enumerate() {
+    let mut slack_col: Vec<Option<usize>> = vec![None; rows];
+    let mut art_col: Vec<Option<usize>> = vec![None; rows];
+    for (r, con) in constraints.iter().enumerate() {
         let (op, sign) = normalize_constraint(con);
         let base = r * cols;
         for &(v, coeff) in &con.terms {
@@ -315,54 +494,90 @@ pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
         // coefficient has magnitude 1. This keeps rows with very different
         // natural units (e.g. occupation times vs. plain counts) comparable
         // and avoids pivoting on tiny, noise-dominated entries.
-        let row_scale = tab.a[base..base + n]
-            .iter()
-            .fold(0.0f64, |acc, &v| acc.max(v.abs()));
-        if row_scale > 0.0 && !(1e-3..=1e3).contains(&row_scale) {
-            for value in &mut tab.a[base..base + n] {
-                *value /= row_scale;
-            }
-            tab.b[r] /= row_scale;
-        }
+        equilibrate_row(&mut tab.a[base..base + n], &mut tab.b[r]);
         match op {
             ConstraintOp::Le => {
                 tab.a[base + next_slack] = 1.0;
                 tab.basis[r] = next_slack;
+                slack_col[r] = Some(next_slack);
                 next_slack += 1;
             }
             ConstraintOp::Ge => {
                 tab.a[base + next_slack] = -1.0;
+                slack_col[r] = Some(next_slack);
                 next_slack += 1;
                 tab.a[base + next_art] = 1.0;
                 tab.basis[r] = next_art;
+                art_col[r] = Some(next_art);
                 artificial_cols.push(next_art);
                 next_art += 1;
             }
             ConstraintOp::Eq => {
                 tab.a[base + next_art] = 1.0;
                 tab.basis[r] = next_art;
+                art_col[r] = Some(next_art);
                 artificial_cols.push(next_art);
                 next_art += 1;
             }
         }
     }
+    Assembled {
+        tab,
+        artificial_cols,
+        slack_col,
+        art_col,
+    }
+}
 
-    let max_iterations = if options.max_iterations > 0 {
+/// Scales a row so its largest structural coefficient has magnitude 1 when
+/// its natural scale is far from unity (shared by assembly and row appends).
+pub(crate) fn equilibrate_row(structural: &mut [f64], rhs: &mut f64) {
+    let row_scale = structural.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    if row_scale > 0.0 && !(1e-3..=1e3).contains(&row_scale) {
+        for value in structural.iter_mut() {
+            *value /= row_scale;
+        }
+        *rhs /= row_scale;
+    }
+}
+
+/// Default pivot budget for a tableau of the given size: simplex rarely
+/// needs more than a few times `rows + cols` pivots on well-scaled problems.
+pub(crate) fn default_iteration_budget(
+    options: &SimplexOptions,
+    rows: usize,
+    cols: usize,
+) -> usize {
+    if options.max_iterations > 0 {
         options.max_iterations
     } else {
-        // Generous default: simplex rarely needs more than a few times
-        // (rows + cols) pivots on well-scaled problems.
         200 * (rows + cols) + 2_000
-    };
+    }
+}
+
+/// Runs phase 1 (when artificials exist) and phase 2 on an assembled
+/// tableau. `phase2_cost` must already be in *maximization* form (one entry
+/// per column). Returns the total pivot count; on success the tableau holds
+/// an optimal basis.
+pub(crate) fn two_phase(
+    tab: &mut Tableau,
+    artificial_cols: &[usize],
+    phase2_cost: &[f64],
+    options: &SimplexOptions,
+) -> Result<usize, LpError> {
+    let rows = tab.rows;
+    let cols = tab.cols;
+    let max_iterations = default_iteration_budget(options, rows, cols);
     let mut total_iterations = 0usize;
 
     // Phase 1: drive the artificial variables to zero.
     if !artificial_cols.is_empty() {
+        let art_base = *artificial_cols.iter().min().expect("non-empty");
         let mut phase1_cost = vec![0.0; cols];
-        for &c in &artificial_cols {
+        for &c in artificial_cols {
             phase1_cost[c] = -1.0; // maximise -(sum of artificials)
         }
-        let (status, iters) = optimize(&mut tab, &phase1_cost, options, max_iterations);
+        let (status, iters) = optimize(tab, &phase1_cost, options, max_iterations);
         total_iterations += iters;
         match status {
             SolveStatus::Optimal => {}
@@ -393,38 +608,56 @@ pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
             }
         }
         // Bar artificial columns from phase 2.
-        for &c in &artificial_cols {
+        for &c in artificial_cols {
             tab.allowed[c] = false;
         }
     }
 
     // Phase 2: optimise the real objective.
-    let sign = match problem.sense() {
-        Sense::Maximize => 1.0,
-        Sense::Minimize => -1.0,
-    };
-    let mut phase2_cost = vec![0.0; cols];
-    for (j, &c) in problem.objective().iter().enumerate() {
-        phase2_cost[j] = sign * c;
-    }
     let remaining = max_iterations.saturating_sub(total_iterations).max(100);
-    let (status, iters) = optimize(&mut tab, &phase2_cost, options, remaining);
+    let (status, iters) = optimize(tab, phase2_cost, options, remaining);
     total_iterations += iters;
     match status {
-        SolveStatus::Optimal => {}
-        SolveStatus::Unbounded => return Err(LpError::Unbounded),
-        SolveStatus::IterationLimit => return Err(LpError::IterationLimit),
-        SolveStatus::Infeasible => return Err(LpError::Infeasible),
+        SolveStatus::Optimal => Ok(total_iterations),
+        SolveStatus::Unbounded => Err(LpError::Unbounded),
+        SolveStatus::IterationLimit => Err(LpError::IterationLimit),
+        SolveStatus::Infeasible => Err(LpError::Infeasible),
     }
+}
 
-    // Extract structural variable values.
+/// Extracts the structural-variable values from an optimal tableau.
+pub(crate) fn extract_values(tab: &Tableau, n: usize) -> Vec<f64> {
     let mut values = vec![0.0; n];
-    for r in 0..rows {
+    for r in 0..tab.rows {
         let bc = tab.basis[r];
         if bc < n {
             values[bc] = tab.b[r].max(0.0);
         }
     }
+    values
+}
+
+/// The phase-2 cost row (maximization form) of `problem`, padded to `cols`.
+pub(crate) fn maximization_cost(problem: &LpProblem, cols: usize) -> Vec<f64> {
+    let sign = match problem.sense() {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let mut cost = vec![0.0; cols];
+    for (j, &c) in problem.objective().iter().enumerate() {
+        cost[j] = sign * c;
+    }
+    cost
+}
+
+/// Solves `problem` with the given options.
+pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
+    problem.validate()?;
+    let n = problem.num_vars();
+    let mut asm = assemble(n, problem.constraints());
+    let phase2_cost = maximization_cost(problem, asm.tab.cols);
+    let total_iterations = two_phase(&mut asm.tab, &asm.artificial_cols, &phase2_cost, options)?;
+    let values = extract_values(&asm.tab, n);
     let objective = problem.eval_objective(&values);
     Ok(LpSolution {
         objective,

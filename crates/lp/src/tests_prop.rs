@@ -1,7 +1,7 @@
 //! Property-based tests of the simplex solver (compiled as a child module of
 //! the crate so they can live next to the implementation; see `lib.rs`).
 
-use crate::{LpProblem, Sense, VarId};
+use crate::{ConstraintOp, LpError, LpProblem, Sense, SimplexOptions, SimplexState, VarId};
 use proptest::prelude::*;
 
 /// A random packing LP: maximise Σ cᵢ xᵢ subject to Ax ≤ b with non-negative
@@ -112,6 +112,96 @@ proptest! {
         prop_assert!((psol.objective - dsol.objective).abs()
             <= 1e-6 * psol.objective.abs().max(1.0),
             "primal {} vs dual {}", psol.objective, dsol.objective);
+    }
+
+    /// Warm-started dual simplex agrees with the cold solver on appended
+    /// rows: random dual-feasible starts (the packing optimum), tightened
+    /// packing rows that cut the optimum off, and fully degenerate
+    /// `Σ ±x ≥ 0` difference rows (the PR 1 stall class).
+    #[test]
+    fn warm_append_agrees_with_cold(
+        lp in packing_strategy(),
+        tighten in 0.3f64..0.95,
+        pairs in proptest::collection::vec((0usize..6, 0usize..6), 1..4),
+    ) {
+        let (problem, vars) = build(&lp);
+        let mut warm = SimplexState::new(&problem, SimplexOptions::default())
+            .expect("valid base");
+        let first = warm.solve().expect("base solvable");
+        // Degenerate difference rows x_i − x_j ≥ 0.
+        for (i, j) in pairs {
+            let a = vars[i % vars.len()];
+            let b = vars[j % vars.len()];
+            if a == b {
+                continue;
+            }
+            warm.add_row(&[(a, 1.0), (b, -1.0)], ConstraintOp::Ge, 0.0)
+                .expect("valid row");
+            let w = warm.resolve().expect("difference rows keep x = 0 feasible");
+            let cold_problem = warm.to_problem();
+            let c = cold_problem.solve().expect("cold agrees on feasibility");
+            prop_assert!((w.objective - c.objective).abs()
+                <= 1e-6 * c.objective.abs().max(1.0),
+                "degenerate append: warm {} vs cold {}", w.objective, c.objective);
+            prop_assert!(cold_problem.max_violation(&w.values) < 1e-6);
+        }
+        // A binding packing row: Σ x_i ≤ tighten · Σ x_i*.
+        let total: f64 = first.values.iter().sum();
+        if total > 1e-6 {
+            let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+            warm.add_row(&terms, ConstraintOp::Le, tighten * total)
+                .expect("valid row");
+            let w = warm.resolve().expect("tightened packing stays feasible");
+            let cold_problem = warm.to_problem();
+            let c = cold_problem.solve().expect("cold agrees");
+            prop_assert!((w.objective - c.objective).abs()
+                <= 1e-6 * c.objective.abs().max(1.0),
+                "binding append: warm {} vs cold {}", w.objective, c.objective);
+            prop_assert!(cold_problem.max_violation(&w.values) < 1e-6);
+        }
+    }
+
+    /// Deleting every appended row returns the solver to the base optimum,
+    /// whether the rows were binding (refactorization path) or slack
+    /// (in-place removal).
+    #[test]
+    fn deleting_appended_rows_restores_the_base_optimum(
+        lp in packing_strategy(),
+        tighten in 0.3f64..0.95,
+    ) {
+        let (problem, vars) = build(&lp);
+        let base_objective = problem.solve().expect("base solvable").objective;
+        let mut warm = SimplexState::new(&problem, SimplexOptions::default())
+            .expect("valid base");
+        let first = warm.solve().expect("base solvable");
+        let total: f64 = first.values.iter().sum();
+        let mut ids = Vec::new();
+        let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        // One binding, one slack row.
+        ids.push(warm.add_row(&terms, ConstraintOp::Le, (tighten * total).max(0.05))
+            .expect("valid row"));
+        ids.push(warm.add_row(&terms, ConstraintOp::Le, total + 10.0)
+            .expect("valid row"));
+        warm.resolve().expect("still feasible");
+        warm.delete_rows(&ids).expect("handles valid");
+        let restored = warm.resolve().expect("base solvable");
+        prop_assert!((restored.objective - base_objective).abs()
+            <= 1e-6 * base_objective.abs().max(1.0),
+            "restored {} vs base {}", restored.objective, base_objective);
+    }
+
+    /// A row that contradicts non-negativity makes the warm path report
+    /// `Infeasible`, exactly like a cold solve of the same problem.
+    #[test]
+    fn infeasible_after_append_is_detected(lp in packing_strategy(), k in 0usize..6) {
+        let (problem, vars) = build(&lp);
+        let mut warm = SimplexState::new(&problem, SimplexOptions::default())
+            .expect("valid base");
+        warm.solve().expect("base solvable");
+        let v = vars[k % vars.len()];
+        warm.add_row(&[(v, 1.0)], ConstraintOp::Le, -1.0).expect("valid row");
+        prop_assert_eq!(warm.resolve().unwrap_err(), LpError::Infeasible);
+        prop_assert_eq!(warm.to_problem().solve().unwrap_err(), LpError::Infeasible);
     }
 
     /// Scaling every coefficient of the objective scales the optimum.
