@@ -45,9 +45,10 @@
 //! cuts are returned alongside for reuse.
 
 use crate::error::CoreError;
-use crate::optimal::{edge_lp_skeleton, OptimalThroughput};
+use crate::optimal::{edge_lp_skeleton, edge_lp_vars, port_constraints, OptimalThroughput};
 use bcast_lp::{
-    Constraint, ConstraintOp, LpProblem, LpSolution, RowId, SimplexOptions, SimplexState, VarId,
+    Constraint, ConstraintOp, LpProblem, LpSolution, RowId, RowUpdate, SimplexOptions,
+    SimplexState, VarId,
 };
 use bcast_net::{maxflow, NodeId};
 use bcast_platform::Platform;
@@ -126,14 +127,19 @@ impl Default for CutGenOptions {
     }
 }
 
-/// Outcome of [`solve_with`]: the optimal solution plus the cuts that were
-/// binding at the optimum (for seeding subsequent solves).
+/// Outcome of [`solve_with`] / [`CutGenSession::solve_step`]: the optimal
+/// solution plus the cuts that were binding at the optimum (for seeding
+/// subsequent solves).
 #[derive(Clone, Debug)]
 pub struct CutGenResult {
     /// The optimal throughput, loads, and solver statistics.
     pub optimal: OptimalThroughput,
     /// Cuts with (near-)zero slack at the optimum, as node partitions.
     pub binding_cuts: Vec<NodeCutSet>,
+    /// Active cuts carried over from earlier steps of a
+    /// [`CutGenSession`] when this solve started (0 on a first/one-shot
+    /// solve): the cut-pool half of the cross-step warm start.
+    pub reused_cuts: usize,
 }
 
 /// One stored cut of the master LP.
@@ -166,54 +172,6 @@ fn cut_row_terms(edges: &[u32], tp: VarId, n_vars: &[VarId]) -> Vec<(VarId, f64)
     terms
 }
 
-/// Solves the current master. Warm mode first appends any active cut that
-/// has no live row yet (new or reactivated — purged rows were deleted at
-/// purge time), then re-optimizes the persistent basis; cold mode rebuilds
-/// the whole LP from the base and solves it from scratch.
-fn solve_master(
-    master: &mut MasterLp,
-    cuts: &mut [Cut],
-    tp: VarId,
-    n_vars: &[VarId],
-    simplex_iterations: &mut usize,
-) -> Result<LpSolution, CoreError> {
-    let solution = match master {
-        MasterLp::Warm(state) => {
-            // One batched append for every active cut without a live row
-            // (new or reactivated): the state widens its tableau once for
-            // the whole batch instead of once per cut.
-            let pending: Vec<usize> = cuts
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.active && c.row.is_none())
-                .map(|(i, _)| i)
-                .collect();
-            let batch: Vec<Constraint> = pending
-                .iter()
-                .map(|&i| Constraint {
-                    terms: cut_row_terms(&cuts[i].edges, tp, n_vars),
-                    op: ConstraintOp::Ge,
-                    rhs: 0.0,
-                })
-                .collect();
-            let rows = state.add_rows(&batch).map_err(CoreError::Lp)?;
-            for (&i, row) in pending.iter().zip(rows) {
-                cuts[i].row = Some(row);
-            }
-            state.resolve().map_err(CoreError::Lp)?
-        }
-        MasterLp::Cold(base) => {
-            let mut lp = base.clone();
-            for cut in cuts.iter().filter(|c| c.active) {
-                lp.add_ge(&cut_row_terms(&cut.edges, tp, n_vars), 0.0);
-            }
-            lp.solve().map_err(CoreError::Lp)?
-        }
-    };
-    *simplex_iterations += solution.iterations;
-    Ok(solution)
-}
-
 /// Solves the MTP optimal-throughput problem by cut generation with default
 /// options (purging enabled, no seed cuts).
 pub fn solve(
@@ -224,82 +182,160 @@ pub fn solve(
     solve_with(platform, source, slice_size, &CutGenOptions::default()).map(|r| r.optimal)
 }
 
-/// Solves the MTP optimal-throughput problem by cut generation.
+/// Solves the MTP optimal-throughput problem by cut generation (a one-shot
+/// [`CutGenSession`]).
 pub fn solve_with(
     platform: &Platform,
     source: NodeId,
     slice_size: f64,
     options: &CutGenOptions,
 ) -> Result<CutGenResult, CoreError> {
-    let graph = platform.graph();
-    let n = platform.node_count();
-    let m = platform.edge_count();
-    if n == 0 {
-        return Err(CoreError::EmptyPlatform);
-    }
-    // Guard infeasible platforms explicitly: an unreachable destination has
-    // only *empty* violated cuts, which the partition bookkeeping below
-    // skips, so without this check the solver would terminate claiming a
-    // positive throughput for an impossible broadcast. (Callers going
-    // through `optimal_throughput` are pre-checked; direct callers — the
-    // sweep harness, `table_sched` — are not.)
-    if !platform.is_broadcast_feasible(source) {
-        return Err(CoreError::Unreachable { source });
-    }
-    let destinations: Vec<NodeId> = platform.nodes().filter(|&u| u != source).collect();
-    if destinations.is_empty() {
-        // Single processor: nothing to broadcast.
-        return Ok(CutGenResult {
-            optimal: OptimalThroughput {
-                throughput: f64::INFINITY,
-                edge_load: vec![0.0; m],
-                iterations: 0,
-                cuts: 0,
-                purged_cuts: 0,
-                simplex_iterations: 0,
-            },
-            binding_cuts: Vec::new(),
-        });
+    CutGenSession::new(platform, source, slice_size, options.clone())?.solve_step(platform)
+}
+
+/// A cut-generation solver whose master LP — simplex basis **and** cut pool
+/// — persists across a *chain of platform snapshots* with identical
+/// topology but drifting link costs (the dynamic-platform workload).
+///
+/// Per snapshot, [`solve_step`](CutGenSession::solve_step):
+///
+/// 1. rewrites the one-port rows' coefficients in place
+///    ([`SimplexState::update_coeffs`]) — the only part of the master that
+///    depends on the link costs; the factorization is repaired around the
+///    previous step's basis instead of being rebuilt;
+/// 2. keeps every active cut row: cuts are node partitions, so their rows
+///    (`Σ_{e ∈ cut} n_e ≥ TP`) are cost-independent and remain exactly
+///    valid after any drift — the pool warm-starts the new separation;
+/// 3. runs the ordinary separation loop to termination.
+///
+/// Warm-starting never changes *what* is computed: every path that cannot
+/// be expressed incrementally falls back to a cold solve inside the LP
+/// layer, and termination is certified by the separation oracle either way
+/// (`tests/dynamic_drift.rs` pins warm ≡ cold per step differentially).
+pub struct CutGenSession {
+    options: CutGenOptions,
+    source: NodeId,
+    slice_size: f64,
+    nodes: usize,
+    edges: usize,
+    tp: VarId,
+    n_vars: Vec<VarId>,
+    master: MasterLp,
+    /// Warm mode: handles of the one-port rows, for per-step coefficient
+    /// updates (empty in cold mode).
+    port_rows: Vec<RowId>,
+    cuts: Vec<Cut>,
+    index_by_edges: HashMap<Vec<u32>, usize>,
+    steps: usize,
+}
+
+impl CutGenSession {
+    /// Prepares a session for platforms with the topology of `platform`
+    /// (later snapshots must keep its node and edge identities; only link
+    /// costs may differ). Nothing is solved yet.
+    pub fn new(
+        platform: &Platform,
+        source: NodeId,
+        slice_size: f64,
+        options: CutGenOptions,
+    ) -> Result<Self, CoreError> {
+        let n = platform.node_count();
+        if n == 0 {
+            return Err(CoreError::EmptyPlatform);
+        }
+        let m = platform.edge_count();
+        let (vars_only, tp, n_vars) = edge_lp_vars(m);
+        // Note on vertex selection: the warm master returns the *nearest*
+        // repaired vertex rather than the vertex a cold Dantzig solve would
+        // find, which can cost extra separation rounds on large degenerate
+        // instances (measured in EXPERIMENTS.md). `SimplexState` supports a
+        // secondary objective over the optimal face for deliberate
+        // tie-breaking; the obvious candidate (maximise total edge load)
+        // measurably *hurt* separation here, so none is installed — finding
+        // a separation-aware tie-break is an open item in ROADMAP.md.
+        let (master, port_rows) = if options.warm_start {
+            let mut state =
+                SimplexState::new(&vars_only, SimplexOptions::default()).map_err(CoreError::Lp)?;
+            // The port rows are appended (not part of the construction
+            // snapshot's constraints) so the session holds their handles
+            // for the per-step coefficient updates. The assembled tableau
+            // is identical either way.
+            let port_rows = state
+                .add_rows(&port_constraints(platform, slice_size, &n_vars))
+                .map_err(CoreError::Lp)?;
+            (MasterLp::Warm(Box::new(state)), port_rows)
+        } else {
+            let (base, _, _) = edge_lp_skeleton(platform, slice_size);
+            (MasterLp::Cold(base), Vec::new())
+        };
+        let mut session = CutGenSession {
+            options,
+            source,
+            slice_size,
+            nodes: n,
+            edges: m,
+            tp,
+            n_vars,
+            master,
+            port_rows,
+            cuts: Vec::new(),
+            index_by_edges: HashMap::new(),
+            steps: 0,
+        };
+        // Seed cuts: the trivial partitions around the source and around
+        // each destination, plus whatever the caller carried over from a
+        // previous instance.
+        let mut source_only = vec![false; n];
+        source_only[source.index()] = true;
+        session.add_cut(platform, source_only);
+        for w in platform.nodes().filter(|&w| w != source) {
+            let mut all_but_w = vec![true; n];
+            all_but_w[w.index()] = false;
+            session.add_cut(platform, all_but_w);
+        }
+        let seeds = session.options.seed_cuts.clone();
+        for seed in seeds {
+            session.add_cut(platform, seed.source_side);
+        }
+        Ok(session)
     }
 
-    // Base master LP over (TP, n): objective plus the one-port constraints
-    // (they subsume the per-edge constraint n_e·T_e ≤ 1), built by the
-    // skeleton shared with the direct LP. In warm mode the base is
-    // factorized once and cut rows are appended/deleted in place; in cold
-    // mode cut rows are re-appended to a clone of this base every round.
-    let (base, tp, n_vars) = edge_lp_skeleton(platform, slice_size);
+    /// Number of snapshots solved so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
 
-    let mut cuts: Vec<Cut> = Vec::new();
-    let mut index_by_edges: HashMap<Vec<u32>, usize> = HashMap::new();
-    // Adds (or reactivates) the cut induced by `side`; returns true when the
-    // master gained a row it did not have in its previous solve.
-    let add_cut = |cuts: &mut Vec<Cut>,
-                   index_by_edges: &mut HashMap<Vec<u32>, usize>,
-                   side: Vec<bool>|
-     -> bool {
+    /// Active cuts currently in the pool (the rows the next step reuses).
+    pub fn active_cuts(&self) -> usize {
+        self.cuts.iter().filter(|c| c.active).count()
+    }
+
+    /// Adds (or reactivates) the cut induced by `side`; returns true when
+    /// the master gained a row it did not have in its previous solve.
+    fn add_cut(&mut self, platform: &Platform, side: Vec<bool>) -> bool {
         let probe = NodeCutSet {
             source_side: side.clone(),
         };
-        if !probe.is_valid_for(platform, source) {
+        if !probe.is_valid_for(platform, self.source) {
             return false;
         }
         let edges = probe.crossing_edges(platform);
         if edges.is_empty() {
             return false;
         }
-        match index_by_edges.get(&edges) {
+        match self.index_by_edges.get(&edges) {
             Some(&i) => {
-                if cuts[i].active {
+                if self.cuts[i].active {
                     false
                 } else {
-                    cuts[i].active = true;
-                    cuts[i].non_binding_streak = 0;
+                    self.cuts[i].active = true;
+                    self.cuts[i].non_binding_streak = 0;
                     true
                 }
             }
             None => {
-                index_by_edges.insert(edges.clone(), cuts.len());
-                cuts.push(Cut {
+                self.index_by_edges.insert(edges.clone(), self.cuts.len());
+                self.cuts.push(Cut {
                     side,
                     edges,
                     non_binding_streak: 0,
@@ -309,112 +345,204 @@ pub fn solve_with(
                 true
             }
         }
-    };
-
-    // Seed cuts: the trivial partitions around the source and around each
-    // destination, plus whatever the caller carried over from a previous
-    // instance.
-    let mut source_only = vec![false; n];
-    source_only[source.index()] = true;
-    add_cut(&mut cuts, &mut index_by_edges, source_only);
-    for w in &destinations {
-        let mut all_but_w = vec![true; n];
-        all_but_w[w.index()] = false;
-        add_cut(&mut cuts, &mut index_by_edges, all_but_w);
-    }
-    for seed in &options.seed_cuts {
-        add_cut(&mut cuts, &mut index_by_edges, seed.source_side.clone());
     }
 
-    // Note on vertex selection: the warm master returns the *nearest*
-    // repaired vertex rather than the vertex a cold Dantzig solve would
-    // find, which can cost extra separation rounds on large degenerate
-    // instances (measured in EXPERIMENTS.md). `SimplexState` supports a
-    // secondary objective over the optimal face for deliberate tie-breaking;
-    // the obvious candidate (maximise total edge load) measurably *hurt*
-    // separation here, so none is installed — finding a separation-aware
-    // tie-break is an open item in ROADMAP.md.
-    let mut master = if options.warm_start {
-        MasterLp::Warm(Box::new(
-            SimplexState::new(&base, SimplexOptions::default()).map_err(CoreError::Lp)?,
-        ))
-    } else {
-        MasterLp::Cold(base)
-    };
-
-    let mut rounds = 0usize;
-    let mut purged = 0usize;
-    let mut simplex_iterations = 0usize;
-    let mut last_solution =
-        solve_master(&mut master, &mut cuts, tp, &n_vars, &mut simplex_iterations)?;
-    loop {
-        rounds += 1;
-        let tp_value = last_solution.value(tp);
-        let loads: Vec<f64> = n_vars.iter().map(|&v| last_solution.value(v)).collect();
-        let tol = SEPARATION_TOL * tp_value.abs().max(1.0);
-
-        let mut new_cuts = 0usize;
-        for w in &destinations {
-            let flow = maxflow::max_flow(graph, source, *w, |e, _| loads[e.index()]);
-            if flow.value + tol < tp_value {
-                // The violated constraint is over the *platform* edges crossing
-                // the min-cut partition — including edges whose current load is
-                // zero (they are precisely the ones the master may increase).
-                if add_cut(&mut cuts, &mut index_by_edges, flow.source_side) {
-                    new_cuts += 1;
+    /// Solves the current master. Warm mode first appends any active cut
+    /// that has no live row yet (new or reactivated — purged rows were
+    /// deleted at purge time), then re-optimizes the persistent basis; cold
+    /// mode rebuilds the whole LP from the base and solves it from scratch.
+    fn solve_master(&mut self, simplex_iterations: &mut usize) -> Result<LpSolution, CoreError> {
+        let solution = match &mut self.master {
+            MasterLp::Warm(state) => {
+                // One batched append for every active cut without a live row
+                // (new or reactivated): the state widens its tableau once
+                // for the whole batch instead of once per cut.
+                let pending: Vec<usize> = self
+                    .cuts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.active && c.row.is_none())
+                    .map(|(i, _)| i)
+                    .collect();
+                let batch: Vec<Constraint> = pending
+                    .iter()
+                    .map(|&i| Constraint {
+                        terms: cut_row_terms(&self.cuts[i].edges, self.tp, &self.n_vars),
+                        op: ConstraintOp::Ge,
+                        rhs: 0.0,
+                    })
+                    .collect();
+                let rows = state.add_rows(&batch).map_err(CoreError::Lp)?;
+                for (&i, row) in pending.iter().zip(rows) {
+                    self.cuts[i].row = Some(row);
                 }
+                state.resolve().map_err(CoreError::Lp)?
             }
+            MasterLp::Cold(base) => {
+                let mut lp = base.clone();
+                for cut in self.cuts.iter().filter(|c| c.active) {
+                    lp.add_ge(&cut_row_terms(&cut.edges, self.tp, &self.n_vars), 0.0);
+                }
+                lp.solve().map_err(CoreError::Lp)?
+            }
+        };
+        *simplex_iterations += solution.iterations;
+        Ok(solution)
+    }
+
+    /// Solves one platform snapshot to optimality and returns its result.
+    /// The first call is the ordinary cut-generation solve; later calls
+    /// re-solve from the previous step's basis and cut pool after updating
+    /// the port-row coefficients in place.
+    ///
+    /// # Panics
+    /// Panics when `platform` does not share the session's topology (node
+    /// or edge count differs) — snapshots of one drift trace always do.
+    pub fn solve_step(&mut self, platform: &Platform) -> Result<CutGenResult, CoreError> {
+        assert!(
+            platform.node_count() == self.nodes && platform.edge_count() == self.edges,
+            "drift snapshots must keep the session's topology \
+             ({}/{} nodes, {}/{} edges)",
+            platform.node_count(),
+            self.nodes,
+            platform.edge_count(),
+            self.edges,
+        );
+        let graph = platform.graph();
+        let source = self.source;
+        // Guard infeasible platforms explicitly: an unreachable destination
+        // has only *empty* violated cuts, which the partition bookkeeping
+        // skips, so without this check the solver would terminate claiming
+        // a positive throughput for an impossible broadcast. (Callers going
+        // through `optimal_throughput` are pre-checked; direct callers —
+        // the sweep harness, `table_sched` — are not.)
+        if !platform.is_broadcast_feasible(source) {
+            return Err(CoreError::Unreachable { source });
         }
-        if new_cuts == 0 || rounds >= MAX_ROUNDS {
-            let binding_cuts = cuts
-                .iter()
-                .filter(|c| c.active && cut_slack(c, &loads, tp_value) <= tol)
-                .map(|c| NodeCutSet {
-                    source_side: c.side.clone(),
-                })
-                .collect();
+        let destinations: Vec<NodeId> = platform.nodes().filter(|&u| u != source).collect();
+        if destinations.is_empty() {
+            // Single processor: nothing to broadcast.
             return Ok(CutGenResult {
                 optimal: OptimalThroughput {
-                    throughput: tp_value,
-                    edge_load: loads,
-                    iterations: rounds,
-                    cuts: cuts.len(),
-                    purged_cuts: purged,
-                    simplex_iterations,
+                    throughput: f64::INFINITY,
+                    edge_load: vec![0.0; self.edges],
+                    iterations: 0,
+                    cuts: 0,
+                    purged_cuts: 0,
+                    simplex_iterations: 0,
                 },
-                binding_cuts,
+                binding_cuts: Vec::new(),
+                reused_cuts: 0,
             });
         }
-        // Purge cuts whose slack stayed non-binding for `purge_after`
-        // consecutive rounds (counted on the rounds where they were priced).
-        // In warm mode the rows are deleted from the live basis right away:
-        // a non-binding cut's slack is basic, so the deletion keeps the
-        // factorization valid (a degenerate exception falls back to one cold
-        // refactorization inside the solver).
-        if let Some(limit) = options.purge_after {
-            let mut purged_rows: Vec<RowId> = Vec::new();
-            for cut in cuts.iter_mut().filter(|c| c.active) {
-                if cut_slack(cut, &loads, tp_value) > tol {
-                    cut.non_binding_streak += 1;
-                    if cut.non_binding_streak >= limit {
-                        cut.active = false;
-                        cut.non_binding_streak = 0;
-                        purged += 1;
-                        if let Some(row) = cut.row.take() {
-                            purged_rows.push(row);
-                        }
-                    }
-                } else {
-                    cut.non_binding_streak = 0;
-                }
+        let step = self.steps;
+        self.steps += 1;
+        let reused_cuts = if step > 0 { self.active_cuts() } else { 0 };
+        // Rewrite the one-port rows for this snapshot's link costs — on
+        // every step, not just step > 0: the first snapshot is allowed to
+        // differ from the constructor platform (a caller resuming a trace
+        // mid-way), and on a step-0 state with no live factorization the
+        // update only rewrites the stored rows, so the usual first-solve
+        // path is unchanged. The cut rows are cost-independent and stay
+        // untouched; this is the cross-step warm start.
+        match &mut self.master {
+            MasterLp::Warm(state) => {
+                let rows = port_constraints(platform, self.slice_size, &self.n_vars);
+                debug_assert_eq!(rows.len(), self.port_rows.len());
+                let updates: Vec<RowUpdate> = self
+                    .port_rows
+                    .iter()
+                    .zip(rows)
+                    .map(|(&row, con)| RowUpdate::new(row, con.terms, con.rhs))
+                    .collect();
+                state.update_coeffs(&updates).map_err(CoreError::Lp)?;
             }
-            if !purged_rows.is_empty() {
-                if let MasterLp::Warm(state) = &mut master {
-                    state.delete_rows(&purged_rows).map_err(CoreError::Lp)?;
-                }
+            MasterLp::Cold(base) => {
+                *base = edge_lp_skeleton(platform, self.slice_size).0;
             }
         }
-        last_solution = solve_master(&mut master, &mut cuts, tp, &n_vars, &mut simplex_iterations)?;
+
+        let mut rounds = 0usize;
+        let mut purged = 0usize;
+        let mut simplex_iterations = 0usize;
+        let mut last_solution = self.solve_master(&mut simplex_iterations)?;
+        loop {
+            rounds += 1;
+            let tp_value = last_solution.value(self.tp);
+            let loads: Vec<f64> = self
+                .n_vars
+                .iter()
+                .map(|&v| last_solution.value(v))
+                .collect();
+            let tol = SEPARATION_TOL * tp_value.abs().max(1.0);
+
+            let mut new_cuts = 0usize;
+            for w in &destinations {
+                let flow = maxflow::max_flow(graph, source, *w, |e, _| loads[e.index()]);
+                if flow.value + tol < tp_value {
+                    // The violated constraint is over the *platform* edges
+                    // crossing the min-cut partition — including edges whose
+                    // current load is zero (they are precisely the ones the
+                    // master may increase).
+                    if self.add_cut(platform, flow.source_side) {
+                        new_cuts += 1;
+                    }
+                }
+            }
+            if new_cuts == 0 || rounds >= MAX_ROUNDS {
+                let binding_cuts = self
+                    .cuts
+                    .iter()
+                    .filter(|c| c.active && cut_slack(c, &loads, tp_value) <= tol)
+                    .map(|c| NodeCutSet {
+                        source_side: c.side.clone(),
+                    })
+                    .collect();
+                return Ok(CutGenResult {
+                    optimal: OptimalThroughput {
+                        throughput: tp_value,
+                        edge_load: loads,
+                        iterations: rounds,
+                        cuts: self.cuts.len(),
+                        purged_cuts: purged,
+                        simplex_iterations,
+                    },
+                    binding_cuts,
+                    reused_cuts,
+                });
+            }
+            // Purge cuts whose slack stayed non-binding for `purge_after`
+            // consecutive rounds (counted on the rounds where they were
+            // priced). In warm mode the rows are deleted from the live
+            // basis right away: a non-binding cut's slack is basic, so the
+            // deletion keeps the factorization valid (a degenerate
+            // exception falls back to one cold refactorization inside the
+            // solver).
+            if let Some(limit) = self.options.purge_after {
+                let mut purged_rows: Vec<RowId> = Vec::new();
+                for cut in self.cuts.iter_mut().filter(|c| c.active) {
+                    if cut_slack(cut, &loads, tp_value) > tol {
+                        cut.non_binding_streak += 1;
+                        if cut.non_binding_streak >= limit {
+                            cut.active = false;
+                            cut.non_binding_streak = 0;
+                            purged += 1;
+                            if let Some(row) = cut.row.take() {
+                                purged_rows.push(row);
+                            }
+                        }
+                    } else {
+                        cut.non_binding_streak = 0;
+                    }
+                }
+                if !purged_rows.is_empty() {
+                    if let MasterLp::Warm(state) = &mut self.master {
+                        state.delete_rows(&purged_rows).map_err(CoreError::Lp)?;
+                    }
+                }
+            }
+            last_solution = self.solve_master(&mut simplex_iterations)?;
+        }
     }
 }
 
@@ -564,6 +692,78 @@ mod tests {
             seeded.optimal.throughput,
             unseeded.throughput
         );
+    }
+
+    #[test]
+    fn drift_session_matches_fresh_solves_per_step() {
+        use bcast_platform::drift::{DriftConfig, DriftTrace};
+        use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
+        let mut rng = StdRng::seed_from_u64(31);
+        let platform = tiers_platform(&TiersConfig::paper(20, 0.10), &mut rng);
+        let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_failures(5, 77));
+        let mut session =
+            CutGenSession::new(&platform, NodeId(0), 1.0e6, CutGenOptions::default()).unwrap();
+        let mut reused_any = false;
+        for step in 0..trace.len() {
+            let snapshot = trace.platform_at(step);
+            let warm = session.solve_step(&snapshot).unwrap();
+            let fresh = solve(&snapshot, NodeId(0), 1.0e6).unwrap();
+            assert!(
+                (warm.optimal.throughput - fresh.throughput).abs()
+                    <= 1e-6 * fresh.throughput.max(1e-12),
+                "step {step}: session {} vs fresh {}",
+                warm.optimal.throughput,
+                fresh.throughput
+            );
+            if step > 0 {
+                assert!(warm.reused_cuts > 0, "step {step} reused no cuts");
+                reused_any = true;
+            }
+        }
+        assert!(reused_any);
+        assert_eq!(session.steps(), trace.len());
+    }
+
+    #[test]
+    fn first_solve_step_honours_the_passed_snapshot() {
+        // Resuming a trace mid-way: the session is constructed from the
+        // base platform but its *first* solve_step gets a later (drifted)
+        // snapshot — the result must be the snapshot's optimum, not the
+        // constructor platform's.
+        use bcast_platform::drift::{DriftConfig, DriftTrace};
+        let mut rng = StdRng::seed_from_u64(33);
+        let platform = random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng);
+        let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::gentle(4, 5));
+        let snapshot = trace.platform_at(4);
+        let mut session =
+            CutGenSession::new(trace.base(), NodeId(0), 1.0e6, CutGenOptions::default()).unwrap();
+        let resumed = session.solve_step(&snapshot).unwrap();
+        let fresh = solve(&snapshot, NodeId(0), 1.0e6).unwrap();
+        assert!(
+            (resumed.optimal.throughput - fresh.throughput).abs()
+                <= 1e-6 * fresh.throughput.max(1e-12),
+            "resumed {} vs fresh {}",
+            resumed.optimal.throughput,
+            fresh.throughput
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "topology")]
+    fn session_rejects_topology_changes() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let mut session =
+            CutGenSession::new(&platform, NodeId(0), 1.0, CutGenOptions::default()).unwrap();
+        session.solve_step(&platform).unwrap();
+        let mut b = Platform::builder();
+        let p = b.add_processors(2);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        let smaller = b.build();
+        let _ = session.solve_step(&smaller);
     }
 
     #[test]

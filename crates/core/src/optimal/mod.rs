@@ -22,19 +22,71 @@
 pub mod cut_gen;
 pub mod direct_lp;
 
-pub use cut_gen::{CutGenOptions, CutGenResult, NodeCutSet};
+pub use cut_gen::{CutGenOptions, CutGenResult, CutGenSession, NodeCutSet};
 
 use crate::error::CoreError;
-use bcast_lp::{LpProblem, Sense, VarId};
+use bcast_lp::{Constraint, ConstraintOp, LpProblem, Sense, VarId};
 use bcast_net::NodeId;
 use bcast_platform::Platform;
 use serde::{Deserialize, Serialize};
 
+/// Builds the variable layer of the edge LP: the throughput variable `TP`
+/// (the objective) plus one load variable `n_e` per platform edge, and no
+/// constraints yet. Shared by [`edge_lp_skeleton`] and the incremental
+/// cut-generation session, which appends the port rows itself so it can
+/// keep their handles for cross-step coefficient updates.
+pub(crate) fn edge_lp_vars(edge_count: usize) -> (LpProblem, VarId, Vec<VarId>) {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let tp = lp.add_var("TP", 1.0);
+    let n_vars: Vec<VarId> = (0..edge_count)
+        .map(|e| lp.add_var(format!("n_{e}"), 0.0))
+        .collect();
+    (lp, tp, n_vars)
+}
+
+/// The one-port constraints `Σ n_e·T_e ≤ 1` of `platform` (output port
+/// first, then input, in node order — the ordering is part of the
+/// deterministic pivot sequence and must not change casually). The
+/// coefficients are the only part of the master LP that depends on the
+/// link costs, which is what makes a drifting platform an in-place
+/// coefficient update of these rows rather than a new LP.
+pub(crate) fn port_constraints(
+    platform: &Platform,
+    slice_size: f64,
+    n_vars: &[VarId],
+) -> Vec<Constraint> {
+    let graph = platform.graph();
+    let mut rows = Vec::with_capacity(2 * platform.node_count());
+    for u in platform.nodes() {
+        let out_terms: Vec<(VarId, f64)> = graph
+            .out_edges(u)
+            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
+            .collect();
+        if !out_terms.is_empty() {
+            rows.push(Constraint {
+                terms: out_terms,
+                op: ConstraintOp::Le,
+                rhs: 1.0,
+            });
+        }
+        let in_terms: Vec<(VarId, f64)> = graph
+            .in_edges(u)
+            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
+            .collect();
+        if !in_terms.is_empty() {
+            rows.push(Constraint {
+                terms: in_terms,
+                op: ConstraintOp::Le,
+                rhs: 1.0,
+            });
+        }
+    }
+    rows
+}
+
 /// Builds the LP skeleton shared by both optimal solvers: the throughput
 /// variable `TP` (the objective), one load variable `n_e` per platform edge,
-/// and the one-port constraints `Σ n_e·T_e ≤ 1` per node port (output first,
-/// then input, in node order — the ordering is part of the deterministic
-/// pivot sequence and must not change casually).
+/// and the one-port constraints of [`port_constraints`].
 ///
 /// The one-port rows subsume the per-edge occupation constraint
 /// `n_e·T_e ≤ 1`; the direct LP re-adds it anyway to stay a verbatim
@@ -43,26 +95,9 @@ pub(crate) fn edge_lp_skeleton(
     platform: &Platform,
     slice_size: f64,
 ) -> (LpProblem, VarId, Vec<VarId>) {
-    let graph = platform.graph();
-    let m = platform.edge_count();
-    let mut lp = LpProblem::new(Sense::Maximize);
-    let tp = lp.add_var("TP", 1.0);
-    let n_vars: Vec<VarId> = (0..m).map(|e| lp.add_var(format!("n_{e}"), 0.0)).collect();
-    for u in platform.nodes() {
-        let out_terms: Vec<(VarId, f64)> = graph
-            .out_edges(u)
-            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
-            .collect();
-        if !out_terms.is_empty() {
-            lp.add_le(&out_terms, 1.0);
-        }
-        let in_terms: Vec<(VarId, f64)> = graph
-            .in_edges(u)
-            .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
-            .collect();
-        if !in_terms.is_empty() {
-            lp.add_le(&in_terms, 1.0);
-        }
+    let (mut lp, tp, n_vars) = edge_lp_vars(platform.edge_count());
+    for row in port_constraints(platform, slice_size, &n_vars) {
+        lp.add_constraint(&row.terms, row.op, row.rhs);
     }
     (lp, tp, n_vars)
 }

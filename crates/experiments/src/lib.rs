@@ -9,7 +9,8 @@
 //! | `fig5`  | Figure 5    | relative performance vs number of nodes, multi-port, random platforms |
 //! | `table3`| Table 3     | relative performance on Tiers-like platforms (30 and 65 nodes), mean ± deviation |
 //! | `table_sched` | extension | single-tree heuristics vs the synthesized periodic schedule (Random / Tiers / Gaussian families) |
-//! | `ablation` | design-choice ablations | direct LP vs cut generation; multi-port overlap sensitivity; pruning metric; schedule batch size |
+//! | `drift` | extension (ablation 6) | dynamic platforms: per-step warm-vs-cold pivots, cut reuse, and schedule repair along link-cost drift traces |
+//! | `ablation` | design-choice ablations | direct LP vs cut generation; multi-port overlap sensitivity; pruning metric; schedule batch size; master-LP warm start |
 //!
 //! All binaries accept `--configs N` (instances per parameter point,
 //! default 3), `--full` (the paper's 10 instances per point, 100 for

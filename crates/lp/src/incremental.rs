@@ -21,9 +21,27 @@
 //!   the basis; that rare case falls back to a cold refactorization and is
 //!   counted in [`IncrementalStats::refactorizations`].
 //!
+//! * **Update** — [`SimplexState::update_coeffs`] edits the coefficients
+//!   and right-hand sides of *existing* rows in place, the substrate for
+//!   chained LP instances whose data drifts (dynamic platforms: link costs
+//!   change, the constraint structure does not). The tableau is re-derived
+//!   from the stored rows **in the current basis** (a Gauss–Jordan pass per
+//!   basic column) and then repaired: a still-dual-feasible basis goes
+//!   through the dual simplex as after an append; a basis that lost dual
+//!   feasibility but kept primal feasibility goes straight to the primal
+//!   pass; a basis that lost both runs a zero-objective dual phase (any
+//!   basis is dual feasible for a zero objective) to restore primal
+//!   feasibility first. Anything the in-place path cannot express — a
+//!   singular rebuilt basis, rows carrying artificials, a stalled repair —
+//!   falls back to a cold refactorization, so an update can never change
+//!   *what* is computed, only how many pivots it takes.
+//!
 //! The state is created from an [`LpProblem`] snapshot (the immutable
-//! "skeleton": variables, objective, base rows); only rows appended through
-//! [`SimplexState::add_row`] can later be deleted incrementally.
+//! "skeleton": variables, objective, base rows); rows appended through
+//! [`SimplexState::add_row`] can later be deleted incrementally, and both
+//! base and appended rows can be edited through
+//! [`SimplexState::update_coeffs`] (base-row handles come from
+//! [`SimplexState::base_rows`]).
 
 use crate::model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
 use crate::simplex::{self, SimplexOptions, SolveStatus, Tableau};
@@ -33,7 +51,14 @@ use crate::simplex::{self, SimplexOptions, SolveStatus, Tableau};
 /// Row ids are never reused, so a handle stays valid (and simply refers to a
 /// deleted row) after any sequence of additions and deletions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct RowId(usize);
+pub struct RowId(pub(crate) usize);
+
+impl RowId {
+    /// The raw row index (the value [`LpError::UnknownRow`] reports).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Counters describing how much work the incremental solver actually did —
 /// the observable behind the "warm starting pays" claim.
@@ -54,6 +79,8 @@ pub struct IncrementalStats {
     pub rows_added: usize,
     /// Physical rows deleted.
     pub rows_deleted: usize,
+    /// Physical rows whose coefficients were edited in place.
+    pub rows_updated: usize,
 }
 
 /// One stored (problem-form) row; kept so cold refactorizations can rebuild
@@ -72,6 +99,25 @@ impl StoredRow {
             op: self.op,
             rhs: self.rhs,
         }
+    }
+}
+
+/// One in-place coefficient edit of an existing row, consumed in batches by
+/// [`SimplexState::update_coeffs`].
+#[derive(Clone, Debug)]
+pub struct RowUpdate {
+    /// Handle of the row to edit (base or appended).
+    pub row: RowId,
+    /// The new sparse left-hand side (replaces the old terms entirely).
+    pub terms: Vec<(VarId, f64)>,
+    /// The new right-hand side.
+    pub rhs: f64,
+}
+
+impl RowUpdate {
+    /// Convenience constructor.
+    pub fn new(row: RowId, terms: Vec<(VarId, f64)>, rhs: f64) -> Self {
+        RowUpdate { row, terms, rhs }
     }
 }
 
@@ -126,6 +172,12 @@ pub struct SimplexState {
     live: Vec<bool>,
     /// Physical rows of each [`RowId`] (an `=` append expands to two rows).
     groups: Vec<Vec<usize>>,
+    /// Constraint operator each [`RowId`] was declared with (needed to
+    /// re-apply the storage normalization when the row is updated).
+    group_ops: Vec<ConstraintOp>,
+    /// Number of groups that came from the base [`LpProblem`] (their stored
+    /// rows are verbatim; appended groups are normalized to `≤` form).
+    base_groups: usize,
     /// Optional secondary objective (maximization form, one coefficient per
     /// structural variable) optimized over the primary-optimal face after
     /// every warm re-solve; see [`set_secondary_objective`](Self::set_secondary_objective).
@@ -147,18 +199,31 @@ impl SimplexState {
             rows: Vec::new(),
             live: Vec::new(),
             groups: Vec::new(),
+            group_ops: Vec::new(),
+            base_groups: 0,
             secondary: None,
             fact: None,
             stats: IncrementalStats::default(),
         };
         for con in problem.constraints() {
-            state.push_group(vec![StoredRow {
-                terms: con.terms.clone(),
-                op: con.op,
-                rhs: con.rhs,
-            }]);
+            state.push_group(
+                vec![StoredRow {
+                    terms: con.terms.clone(),
+                    op: con.op,
+                    rhs: con.rhs,
+                }],
+                con.op,
+            );
         }
+        state.base_groups = state.groups.len();
         Ok(state)
+    }
+
+    /// Handles of the base problem's constraints, in declaration order —
+    /// the addressing scheme for [`update_coeffs`](Self::update_coeffs) on
+    /// rows that were part of the construction snapshot.
+    pub fn base_rows(&self) -> Vec<RowId> {
+        (0..self.base_groups).map(RowId).collect()
     }
 
     /// Number of structural variables (fixed at construction).
@@ -271,7 +336,7 @@ impl SimplexState {
                 ],
             };
             self.stats.rows_added += physical.len();
-            ids.push(self.push_group(physical));
+            ids.push(self.push_group(physical, con.op));
         }
         let count = self.rows.len() - first_physical;
         if let Some(fact) = self.fact.as_mut() {
@@ -319,6 +384,100 @@ impl SimplexState {
         Ok(())
     }
 
+    /// Edits the coefficients and right-hand sides of existing rows in
+    /// place — the cross-instance warm start for chained LPs whose data
+    /// drifts while their structure stays fixed (the dynamic-platform
+    /// master LP re-solved after every link-cost drift step is the intended
+    /// customer). Each update replaces the row's whole left-hand side and
+    /// right-hand side; the operator it was declared with is kept (an
+    /// updated `=` append refreshes both physical rows of its pair).
+    ///
+    /// The batch is **atomic**: every update is validated up front, and a
+    /// handle this state never issued — or one whose row was deleted — is
+    /// rejected with [`LpError::UnknownRow`] before anything is touched, so
+    /// a failed call can never leave the factorization disagreeing with the
+    /// stored rows.
+    ///
+    /// With a live factorization the tableau is re-derived from the stored
+    /// rows **in the current basis** and the next
+    /// [`resolve`](Self::resolve) repairs it (dual pass, primal pass, or a
+    /// zero-objective dual phase when both feasibilities were lost). A
+    /// rebuilt basis the in-place path cannot express (rows carrying
+    /// artificials, a basis gone singular under the new coefficients) falls
+    /// back to a cold refactorization — exactly like a binding-row
+    /// deletion, and counted the same way — so updating coefficients can
+    /// never change the returned verdict, only the pivot count.
+    pub fn update_coeffs(&mut self, updates: &[RowUpdate]) -> Result<(), LpError> {
+        for update in updates {
+            let RowId(id) = update.row;
+            if id >= self.groups.len() || self.groups[id].iter().any(|&p| !self.live[p]) {
+                return Err(LpError::UnknownRow(id));
+            }
+            self.validate_terms(&update.terms, update.rhs)?;
+        }
+        if updates.is_empty() {
+            return Ok(());
+        }
+        for update in updates {
+            let RowId(id) = update.row;
+            let physical = regenerate_stored_rows(
+                self.group_ops[id],
+                id < self.base_groups,
+                &update.terms,
+                update.rhs,
+            );
+            debug_assert_eq!(physical.len(), self.groups[id].len());
+            for (&p, row) in self.groups[id].clone().iter().zip(physical) {
+                self.rows[p] = row;
+                self.stats.rows_updated += 1;
+            }
+        }
+        if let Some(fact) = self.fact.as_mut() {
+            if rebuild_in_basis(
+                fact,
+                &self.rows,
+                &self.live,
+                self.objective.len(),
+                &self.options,
+            ) {
+                fact.stale = true;
+            } else {
+                self.fact = None;
+                self.stats.refactorizations += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the structural objective (one coefficient per variable, in
+    /// the problem's original sense). The current basis stays primal
+    /// feasible, so no repair is needed: the next
+    /// [`resolve`](Self::resolve) re-optimizes with the primal simplex from
+    /// the still-feasible vertex (and falls back to a cold solve if that
+    /// stalls, as always).
+    pub fn update_objective(&mut self, coefficients: &[f64]) -> Result<(), LpError> {
+        assert_eq!(
+            coefficients.len(),
+            self.num_vars(),
+            "objective must have one coefficient per variable"
+        );
+        if coefficients.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::NotFinite);
+        }
+        self.objective.clear();
+        self.objective.extend_from_slice(coefficients);
+        if let Some(fact) = self.fact.as_mut() {
+            let sign = match self.sense {
+                Sense::Maximize => 1.0,
+                Sense::Minimize => -1.0,
+            };
+            for (j, &c) in coefficients.iter().enumerate() {
+                fact.cost[j] = sign * c;
+            }
+        }
+        Ok(())
+    }
+
     /// Solves (or re-solves) the problem. Identical to
     /// [`resolve`](Self::resolve); both names exist because the first call
     /// is necessarily a cold solve while later calls are warm.
@@ -350,11 +509,37 @@ impl SimplexState {
         let mut pivots = 0usize;
         let mut clean = true;
         if fact.stale {
-            let (status, iters) =
-                simplex::dual_simplex(&mut fact.tab, &fact.cost, &options, budget);
-            pivots += iters;
-            self.stats.dual_pivots += iters;
-            clean = status == SolveStatus::Optimal;
+            // Classify the start basis. Pure row appends leave the old
+            // reduced costs untouched — dual feasible — and are repaired by
+            // the dual simplex as before. A coefficient update can break
+            // dual feasibility: if the basis at least stayed primal
+            // feasible, the primal pass below re-optimizes directly; if it
+            // lost both, a dual phase with a zero objective (for which any
+            // basis prices out) restores primal feasibility first.
+            let d = simplex::reduced_costs(&fact.tab, &fact.cost);
+            let dual_feasible = d
+                .iter()
+                .zip(&fact.tab.allowed)
+                .all(|(&dj, &ok)| !ok || dj <= options.cost_tolerance);
+            if dual_feasible {
+                let (status, iters) =
+                    simplex::dual_simplex(&mut fact.tab, &fact.cost, &options, budget, Some(d));
+                pivots += iters;
+                self.stats.dual_pivots += iters;
+                clean = status == SolveStatus::Optimal;
+            } else if fact
+                .tab
+                .b
+                .iter()
+                .any(|&bi| bi < -options.feasibility_tolerance)
+            {
+                let zero = vec![0.0; fact.tab.cols];
+                let (status, iters) =
+                    simplex::dual_simplex(&mut fact.tab, &zero, &options, budget, None);
+                pivots += iters;
+                self.stats.dual_pivots += iters;
+                clean = status == SolveStatus::Optimal;
+            }
         }
         if clean {
             // Primal cleanup: after a clean dual pass (or a pure deletion)
@@ -403,7 +588,7 @@ impl SimplexState {
         lp
     }
 
-    fn push_group(&mut self, physical: Vec<StoredRow>) -> RowId {
+    fn push_group(&mut self, physical: Vec<StoredRow>, op: ConstraintOp) -> RowId {
         let id = RowId(self.groups.len());
         let mut indices = Vec::with_capacity(physical.len());
         for row in physical {
@@ -412,6 +597,7 @@ impl SimplexState {
             self.live.push(true);
         }
         self.groups.push(indices);
+        self.group_ops.push(op);
         id
     }
 
@@ -584,6 +770,132 @@ fn grow_columns(tab: &mut Tableau, extra: usize) {
     tab.a = a;
     tab.cols = new_cols;
     tab.allowed.resize(new_cols, true);
+}
+
+/// The stored (physical) form of a row declared as `terms op rhs`: base
+/// rows are stored verbatim (the cold assembly handles every operator),
+/// appended rows are normalized to `≤` form exactly as in
+/// [`SimplexState::add_rows`] — the two paths must keep agreeing or an
+/// update would silently change a row's meaning.
+fn regenerate_stored_rows(
+    op: ConstraintOp,
+    base: bool,
+    terms: &[(VarId, f64)],
+    rhs: f64,
+) -> Vec<StoredRow> {
+    let verbatim = || StoredRow {
+        terms: terms.to_vec(),
+        op,
+        rhs,
+    };
+    if base {
+        return vec![verbatim()];
+    }
+    let negated = || StoredRow {
+        terms: terms.iter().map(|&(v, c)| (v, -c)).collect(),
+        op: ConstraintOp::Le,
+        rhs: -rhs,
+    };
+    match op {
+        ConstraintOp::Le => vec![StoredRow {
+            terms: terms.to_vec(),
+            op: ConstraintOp::Le,
+            rhs,
+        }],
+        ConstraintOp::Ge => vec![negated()],
+        ConstraintOp::Eq => vec![
+            StoredRow {
+                terms: terms.to_vec(),
+                op: ConstraintOp::Le,
+                rhs,
+            },
+            negated(),
+        ],
+    }
+}
+
+/// Re-derives the live tableau from the stored rows while keeping the
+/// current basis: fresh slack-form rows are assembled and one Gauss–Jordan
+/// pass per old basic column pivots the basis back in (partial pivoting:
+/// the largest-magnitude eligible row). This is how a coefficient update is
+/// carried into the factorization without discarding the basis.
+///
+/// Returns `false` when the rebuilt system cannot adopt the old basis — a
+/// live row without a plain slack column (initial `=`/`≥` rows carrying
+/// artificials), a basis containing a barred column, or a basis gone
+/// numerically singular under the new coefficients — in which case the
+/// caller must refactorize cold.
+fn rebuild_in_basis(
+    fact: &mut Factorization,
+    rows: &[StoredRow],
+    live: &[bool],
+    n: usize,
+    options: &SimplexOptions,
+) -> bool {
+    let live_rows: Vec<usize> = (0..rows.len()).filter(|&p| live[p]).collect();
+    if live_rows.len() != fact.tab.rows {
+        return false;
+    }
+    for &p in &live_rows {
+        if fact.slack_col[p].is_none() || fact.art_col[p].is_some() {
+            return false;
+        }
+    }
+    let cols = fact.tab.cols;
+    let old_basis = fact.tab.basis.clone();
+    if old_basis.iter().any(|&c| c >= cols || !fact.tab.allowed[c]) {
+        return false;
+    }
+    let m = live_rows.len();
+    let mut a = vec![0.0; m * cols];
+    let mut b = vec![0.0; m];
+    for (r, &p) in live_rows.iter().enumerate() {
+        // Reassemble the row the way its live slack column was introduced,
+        // so the slack keeps its meaning: appended rows (always stored `≤`)
+        // and `≤`-assembled base rows sit in the tableau verbatim, while a
+        // base `≥` row with `rhs ≤ 0` was written *sign-flipped* by the
+        // cold assembly (the artificial-free `≥ 0` rewrite — see
+        // `simplex::normalize_constraint`). Any other slack-form shape
+        // would carry an artificial and has been rejected above; bail out
+        // defensively rather than guess an orientation.
+        let sign = match rows[p].op {
+            ConstraintOp::Le => 1.0,
+            ConstraintOp::Ge if rows[p].rhs <= 0.0 => -1.0,
+            _ => return false,
+        };
+        let base = r * cols;
+        for &(v, c) in &rows[p].terms {
+            a[base + v.index()] += sign * c;
+        }
+        b[r] = sign * rows[p].rhs;
+        simplex::equilibrate_row(&mut a[base..base + n], &mut b[r]);
+        a[base + fact.slack_col[p].expect("checked above")] = 1.0;
+    }
+    let mut tab = Tableau {
+        rows: m,
+        cols,
+        a,
+        b,
+        basis: vec![usize::MAX; m],
+        allowed: fact.tab.allowed.clone(),
+    };
+    let mut placed = vec![false; m];
+    for &col in &old_basis {
+        let mut best: Option<(f64, usize)> = None;
+        for (r, _) in placed.iter().enumerate().filter(|&(_, &done)| !done) {
+            let mag = tab.at(r, col).abs();
+            if mag > options.pivot_tolerance && best.is_none_or(|(bm, _)| mag > bm) {
+                best = Some((mag, r));
+            }
+        }
+        let Some((_, r)) = best else {
+            return false;
+        };
+        tab.pivot(r, col);
+        placed[r] = true;
+    }
+    fact.tab = tab;
+    true
 }
 
 /// Tries to remove physical row `p` from the live tableau without breaking
@@ -855,6 +1167,239 @@ mod tests {
         let cold = state.resolve().unwrap();
         assert_close(cold.objective, warm.objective);
         assert_eq!(state.stats().cold_solves, 2);
+    }
+
+    #[test]
+    fn updating_a_binding_base_row_tracks_the_cold_solver() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        // Tighten the binding row 3x + 2y ≤ 18 to 3x + 2y ≤ 12 in place.
+        let rows = state.base_rows();
+        state
+            .update_coeffs(&[RowUpdate::new(rows[2], vec![(x, 3.0), (y, 2.0)], 12.0)])
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        let cold = state.to_problem().solve().unwrap();
+        assert_close(warm.objective, cold.objective);
+        // …and relax it again: back to the original optimum, still warm.
+        state
+            .update_coeffs(&[RowUpdate::new(rows[2], vec![(x, 3.0), (y, 2.0)], 18.0)])
+            .unwrap();
+        assert_close(state.resolve().unwrap().objective, 36.0);
+        assert!(state.stats().rows_updated >= 2);
+    }
+
+    #[test]
+    fn coefficient_scaling_of_every_row_matches_cold() {
+        // The drift shape: every base row's coefficients are rescaled (like
+        // link costs drifting), warm must equal cold at each step.
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let rows = state.base_rows();
+        for scale in [1.3, 0.7, 2.4, 0.45] {
+            let updates = vec![
+                RowUpdate::new(rows[0], vec![(x, scale)], 4.0),
+                RowUpdate::new(rows[1], vec![(y, 2.0 * scale)], 12.0),
+                RowUpdate::new(rows[2], vec![(x, 3.0 * scale), (y, 2.0 * scale)], 18.0),
+            ];
+            state.update_coeffs(&updates).unwrap();
+            let warm = state.resolve().unwrap();
+            let cold = state.to_problem().solve().unwrap();
+            assert_close(warm.objective, cold.objective);
+        }
+    }
+
+    #[test]
+    fn updating_an_appended_ge_row_keeps_its_normalization() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let id = state
+            .add_row(&[(x, 1.0), (y, -1.0)], ConstraintOp::Ge, 0.0)
+            .unwrap();
+        state.resolve().unwrap();
+        // Flip the row's sense of direction: y − x ≥ 0 instead.
+        state
+            .update_coeffs(&[RowUpdate::new(id, vec![(x, -1.0), (y, 1.0)], 0.0)])
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        let cold = state.to_problem().solve().unwrap();
+        assert_close(warm.objective, cold.objective);
+        // The stored problem must contain the row as a `≥` constraint.
+        let problem = state.to_problem();
+        assert_eq!(problem.num_constraints(), 4);
+    }
+
+    #[test]
+    fn updating_an_appended_eq_pair_updates_both_rows() {
+        let (lp, x, _) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let id = state.add_row(&[(x, 1.0)], ConstraintOp::Eq, 1.0).unwrap();
+        let pinned = state.resolve().unwrap();
+        assert_close(pinned.value(x), 1.0);
+        state
+            .update_coeffs(&[RowUpdate::new(id, vec![(x, 1.0)], 3.0)])
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        assert_close(warm.value(x), 3.0);
+        assert_close(
+            warm.objective,
+            state.to_problem().solve().unwrap().objective,
+        );
+    }
+
+    #[test]
+    fn updates_preserve_flipped_base_ge_rows() {
+        // A base `x − y ≥ 0` row is stored verbatim but *assembled*
+        // sign-flipped into `y − x ≤ 0` (the artificial-free rewrite). The
+        // in-basis rebuild must reproduce that orientation, or an update of
+        // an unrelated row silently turns the constraint around:
+        // max x + y s.t. x ≤ 4, y ≤ 3, x − y ≥ 0 has optimum 7 at (4, 3);
+        // with the row flipped to x ≤ y the warm optimum would differ from
+        // cold while both report Optimal.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 1.0);
+        lp.add_le(&[(x, 1.0)], 4.0);
+        lp.add_le(&[(y, 1.0)], 3.0);
+        lp.add_ge(&[(x, 1.0), (y, -1.0)], 0.0);
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let rows = state.base_rows();
+        for rhs in [5.0, 2.0, 6.0] {
+            state
+                .update_coeffs(&[RowUpdate::new(rows[0], vec![(x, 1.0)], rhs)])
+                .unwrap();
+            let warm = state.resolve().unwrap();
+            let cold = state.to_problem().solve().unwrap();
+            assert_close(warm.objective, cold.objective);
+        }
+        // Updating the `≥ 0` row itself (staying in flipped-slack form)
+        // must track cold too.
+        state
+            .update_coeffs(&[RowUpdate::new(rows[2], vec![(x, 1.0), (y, -2.0)], 0.0)])
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        let cold = state.to_problem().solve().unwrap();
+        assert_close(warm.objective, cold.objective);
+        // Updating it to a positive rhs changes its assembled shape
+        // (artificial form): the rebuild must refuse and go cold, still
+        // agreeing with the reference.
+        state
+            .update_coeffs(&[RowUpdate::new(rows[2], vec![(x, 1.0), (y, -1.0)], 1.0)])
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        let cold = state.to_problem().solve().unwrap();
+        assert_close(warm.objective, cold.objective);
+    }
+
+    #[test]
+    fn update_with_bad_handles_is_atomic() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let rows = state.base_rows();
+        let before = state.resolve().unwrap().objective;
+        // Unknown handle: the whole batch must fail without touching row 0.
+        let err = state
+            .update_coeffs(&[
+                RowUpdate::new(rows[0], vec![(x, 9.0)], 1.0),
+                RowUpdate::new(RowId(999), vec![(y, 1.0)], 1.0),
+            ])
+            .unwrap_err();
+        assert_eq!(err, LpError::UnknownRow(999));
+        // A deleted row is as unknown as a never-issued one.
+        let appended = state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 100.0)
+            .unwrap();
+        state.resolve().unwrap();
+        state.delete_rows(&[appended]).unwrap();
+        let err = state
+            .update_coeffs(&[RowUpdate::new(appended, vec![(x, 1.0)], 5.0)])
+            .unwrap_err();
+        assert_eq!(err, LpError::UnknownRow(appended.0));
+        // Non-finite data is rejected before anything is written.
+        let err = state
+            .update_coeffs(&[RowUpdate::new(rows[0], vec![(x, f64::NAN)], 1.0)])
+            .unwrap_err();
+        assert_eq!(err, LpError::NotFinite);
+        assert_close(state.resolve().unwrap().objective, before);
+        assert_eq!(state.stats().rows_updated, 0);
+    }
+
+    #[test]
+    fn update_that_makes_the_lp_infeasible_is_detected_warm_and_cold() {
+        let (lp, x, _) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let id = state.add_row(&[(x, 1.0)], ConstraintOp::Le, 10.0).unwrap();
+        state.resolve().unwrap();
+        state
+            .update_coeffs(&[RowUpdate::new(id, vec![(x, 1.0)], -2.0)])
+            .unwrap();
+        assert_eq!(state.resolve().unwrap_err(), LpError::Infeasible);
+        assert_eq!(state.to_problem().solve().unwrap_err(), LpError::Infeasible);
+        // Recover by updating the row back to a satisfiable form.
+        state
+            .update_coeffs(&[RowUpdate::new(id, vec![(x, 1.0)], 10.0)])
+            .unwrap();
+        assert_close(state.resolve().unwrap().objective, 36.0);
+    }
+
+    #[test]
+    fn update_objective_reoptimizes_from_the_warm_basis() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        assert_close(state.solve().unwrap().objective, 36.0);
+        // Flip the objective to favour x: max 5x + y → (4, 3), z = 23.
+        state.update_objective(&[5.0, 1.0]).unwrap();
+        let warm = state.resolve().unwrap();
+        assert_close(warm.objective, 23.0);
+        assert_close(warm.value(x), 4.0);
+        assert_close(warm.value(y), 3.0);
+        assert_eq!(state.stats().cold_solves, 1, "objective update went cold");
+        assert_eq!(
+            state.update_objective(&[f64::INFINITY, 0.0]).unwrap_err(),
+            LpError::NotFinite
+        );
+    }
+
+    #[test]
+    fn updates_compose_with_appends_and_deletions() {
+        let (lp, x, y) = base_problem();
+        let mut state = SimplexState::new(&lp, SimplexOptions::default()).unwrap();
+        state.solve().unwrap();
+        let cut = state
+            .add_row(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 6.0)
+            .unwrap();
+        state.resolve().unwrap();
+        // Drift the base rows, keep the cut, then relax the cut via update.
+        let rows = state.base_rows();
+        state
+            .update_coeffs(&[RowUpdate::new(rows[2], vec![(x, 2.0), (y, 2.0)], 18.0)])
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        assert_close(
+            warm.objective,
+            state.to_problem().solve().unwrap().objective,
+        );
+        state
+            .update_coeffs(&[RowUpdate::new(cut, vec![(x, 1.0), (y, 1.0)], 50.0)])
+            .unwrap();
+        let warm = state.resolve().unwrap();
+        assert_close(
+            warm.objective,
+            state.to_problem().solve().unwrap().objective,
+        );
+        state.delete_rows(&[cut]).unwrap();
+        let warm = state.resolve().unwrap();
+        assert_close(
+            warm.objective,
+            state.to_problem().solve().unwrap().objective,
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod incremental;
 pub mod model;
 pub mod simplex;
 
-pub use incremental::{IncrementalStats, RowId, SimplexState};
+pub use incremental::{IncrementalStats, RowId, RowUpdate, SimplexState};
 pub use model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
 pub use simplex::{solve, SimplexOptions, SolveStatus};
 

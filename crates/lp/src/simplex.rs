@@ -252,14 +252,21 @@ pub(crate) fn reduced_costs(tab: &Tableau, cost: &[f64]) -> Vec<f64> {
 /// the problem became [`SolveStatus::Infeasible`]. Like the primal loop,
 /// pricing falls back to a Bland-style smallest-index rule after a run of
 /// degenerate steps so termination is guaranteed.
+///
+/// `reduced` lets a caller that already computed the reduced-cost row for
+/// `cost` (the incremental solver classifies the basis with it before
+/// choosing a repair strategy) hand it over instead of paying the full
+/// O(rows·cols) scan twice; pass `None` to compute it here.
 pub(crate) fn dual_simplex(
     tab: &mut Tableau,
     cost: &[f64],
     options: &SimplexOptions,
     max_iterations: usize,
+    reduced: Option<Vec<f64>>,
 ) -> (SolveStatus, usize) {
     let rows = tab.rows;
-    let mut d = reduced_costs(tab, cost);
+    let mut d = reduced.unwrap_or_else(|| reduced_costs(tab, cost));
+    debug_assert_eq!(d.len(), tab.cols);
     let feas = options.feasibility_tolerance;
     let mut iterations = 0usize;
     let mut degenerate_run = 0usize;

@@ -1,7 +1,8 @@
 //! Property-based tests of the simplex solver (compiled as a child module of
 //! the crate so they can live next to the implementation; see `lib.rs`).
 
-use crate::{ConstraintOp, LpError, LpProblem, Sense, SimplexOptions, SimplexState, VarId};
+use crate::incremental::RowUpdate;
+use crate::{ConstraintOp, LpError, LpProblem, RowId, Sense, SimplexOptions, SimplexState, VarId};
 use proptest::prelude::*;
 
 /// A random packing LP: maximise Σ cᵢ xᵢ subject to Ax ≤ b with non-negative
@@ -202,6 +203,93 @@ proptest! {
         warm.add_row(&[(v, 1.0)], ConstraintOp::Le, -1.0).expect("valid row");
         prop_assert_eq!(warm.resolve().unwrap_err(), LpError::Infeasible);
         prop_assert_eq!(warm.to_problem().solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    /// In-place coefficient updates of existing rows — the drift substrate —
+    /// keep warm ≡ cold and never corrupt the basis, including sign flips
+    /// and zeroed coefficients. Every perturbed row keeps a strictly
+    /// positive rhs, so x = 0 stays feasible and the LP stays solvable.
+    #[test]
+    fn update_coeffs_random_perturbations_agree_with_cold(
+        lp in packing_strategy(),
+        perturbations in proptest::collection::vec(
+            proptest::collection::vec((-1.5f64..2.5, 0.0f64..1.0), 2..7),
+            1..4,
+        ),
+    ) {
+        let (problem, vars) = build(&lp);
+        let mut warm = SimplexState::new(&problem, SimplexOptions::default())
+            .expect("valid base");
+        warm.solve().expect("base solvable");
+        let rows = warm.base_rows();
+        for step in perturbations {
+            // Rescale each packing row by a per-variable factor in
+            // [−1.5, 2.5): sign flips and zeroing included (a factor with
+            // magnitude below 0.25 zeroes the coefficient outright).
+            let updates: Vec<RowUpdate> = lp
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(i, (coeffs, rhs))| {
+                    let terms: Vec<(VarId, f64)> = vars
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &v)| {
+                            let (factor, _) = step[(i + j) % step.len()];
+                            let scaled = if factor.abs() < 0.25 { 0.0 } else { coeffs[j] * factor };
+                            (v, scaled)
+                        })
+                        .collect();
+                    RowUpdate::new(rows[i], terms, rhs.max(0.5))
+                })
+                .collect();
+            warm.update_coeffs(&updates).expect("valid update batch");
+            let w = warm.resolve().expect("x = 0 keeps the LP feasible");
+            let cold_problem = warm.to_problem();
+            let c = cold_problem.solve().expect("cold agrees on feasibility");
+            prop_assert!((w.objective - c.objective).abs()
+                <= 1e-6 * c.objective.abs().max(1.0),
+                "update: warm {} vs cold {}", w.objective, c.objective);
+            prop_assert!(cold_problem.max_violation(&w.values) < 1e-6,
+                "warm point infeasible after update (violation {})",
+                cold_problem.max_violation(&w.values));
+        }
+    }
+
+    /// A batch containing an unknown (or deleted) handle fails atomically:
+    /// the state keeps solving to the same optimum as before the attempt.
+    #[test]
+    fn update_coeffs_unknown_row_fails_atomically(
+        lp in packing_strategy(),
+        bogus in 1000usize..2000,
+        scale in 0.2f64..3.0,
+    ) {
+        let (problem, vars) = build(&lp);
+        let mut warm = SimplexState::new(&problem, SimplexOptions::default())
+            .expect("valid base");
+        let before = warm.solve().expect("base solvable").objective;
+        let rows = warm.base_rows();
+        let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, scale)).collect();
+        let err = warm
+            .update_coeffs(&[
+                RowUpdate::new(rows[0], terms.clone(), 1.0),
+                RowUpdate::new(RowId(bogus), terms.clone(), 1.0),
+            ])
+            .unwrap_err();
+        prop_assert_eq!(err, LpError::UnknownRow(bogus));
+        // A deleted appended row is rejected the same way.
+        let appended = warm
+            .add_row(&terms, ConstraintOp::Le, 1000.0)
+            .expect("valid row");
+        warm.resolve().expect("still solvable");
+        warm.delete_rows(&[appended]).expect("handle valid");
+        let err = warm
+            .update_coeffs(&[RowUpdate::new(appended, terms, 1.0)])
+            .unwrap_err();
+        prop_assert_eq!(err, LpError::UnknownRow(appended.index()));
+        let after = warm.resolve().expect("state still consistent").objective;
+        prop_assert!((after - before).abs() <= 1e-6 * before.abs().max(1.0),
+            "failed update changed the optimum: {before} -> {after}");
     }
 
     /// Scaling every coefficient of the objective scales the optimum.

@@ -1,0 +1,446 @@
+//! Deterministic link-cost drift traces for dynamic platforms.
+//!
+//! The paper's platform is *static*: link costs are sampled once and the
+//! throughput LP is solved once. Real content-delivery and overlay-streaming
+//! systems face links whose effective bandwidth drifts over time and whole
+//! links that fail and recover (the tree-maintenance problem of the
+//! peer-to-peer streaming literature). A [`DriftTrace`] models exactly that
+//! as a **replayable** sequence of platform snapshots:
+//!
+//! * every step multiplies each link's cost by a lognormal factor
+//!   `exp(σ·z)`, `z ~ N(0, 1)` — bandwidth random-walks around its base
+//!   value, clamped to a configurable corridor so a long trace cannot drift
+//!   into degeneracy;
+//! * links fail (and later recover) with configurable per-step
+//!   probabilities. A failure is **soft**: the link's cost is scaled by
+//!   [`FAILED_COST_FACTOR`] instead of the edge being removed, so every
+//!   snapshot shares the base platform's edge identities — the property
+//!   that lets the LP variable space, the simplex basis, and the cut pool
+//!   survive across steps. A failure that would disconnect the broadcast
+//!   source is skipped (the trace stays feasible by construction).
+//!
+//! The whole trace is generated up front from one seed (`StdRng`), so two
+//! generations from the same `(platform, source, config)` are bit-identical
+//! and a trace can be replayed step by step — `platform_at(k)` is a pure
+//! function of the trace. Step 0 is always the unperturbed base platform.
+
+use crate::cost::LinkCost;
+use crate::generators::gaussian::sample_normal;
+use crate::platform::Platform;
+use bcast_net::{traversal, EdgeId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost multiplier applied to a failed link: the link nominally stays in
+/// the platform (keeping edge identities stable for incremental solvers)
+/// but is six orders of magnitude slower, so the throughput LP drives its
+/// load to numerical zero.
+pub const FAILED_COST_FACTOR: f64 = 1.0e6;
+
+/// Parameters of [`DriftTrace::generate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftConfig {
+    /// Number of drift steps after the baseline (the trace has `steps + 1`
+    /// snapshots, snapshot 0 being the unperturbed platform).
+    pub steps: usize,
+    /// Standard deviation `σ` of the per-step log-factor: each step
+    /// multiplies each link cost by `exp(σ·z)`, `z ~ N(0, 1)`. `0.1`–`0.2`
+    /// models gentle bandwidth fluctuation; `0` freezes the costs (only
+    /// failures remain).
+    pub sigma: f64,
+    /// Per-step probability that a live link fails (soft failure, see the
+    /// module docs). Failures that would disconnect the source are skipped.
+    pub failure_rate: f64,
+    /// Per-step probability that a failed link recovers.
+    pub recovery_rate: f64,
+    /// Lower clamp on a link's cumulative drift factor.
+    pub min_factor: f64,
+    /// Upper clamp on a link's cumulative drift factor.
+    pub max_factor: f64,
+    /// RNG seed; the trace is a pure function of `(platform, source, self)`.
+    pub seed: u64,
+}
+
+impl DriftConfig {
+    /// A gentle cost-only drift: lognormal σ = 0.15 per step, no failures.
+    pub fn gentle(steps: usize, seed: u64) -> Self {
+        DriftConfig {
+            steps,
+            sigma: 0.15,
+            failure_rate: 0.0,
+            recovery_rate: 0.0,
+            min_factor: 0.25,
+            max_factor: 4.0,
+            seed,
+        }
+    }
+
+    /// Gentle drift plus link churn: 4% of live links fail per step and
+    /// failed links recover with probability 30% per step.
+    pub fn with_failures(steps: usize, seed: u64) -> Self {
+        DriftConfig {
+            failure_rate: 0.04,
+            recovery_rate: 0.3,
+            ..Self::gentle(steps, seed)
+        }
+    }
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig::gentle(10, 2004)
+    }
+}
+
+/// A discrete event of one drift step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftEvent {
+    /// The link went down (its cost is scaled by [`FAILED_COST_FACTOR`]).
+    LinkFailed(EdgeId),
+    /// The link came back up.
+    LinkRecovered(EdgeId),
+}
+
+/// One snapshot of the trace: cumulative per-edge cost factors, the set of
+/// currently failed links, and the failure/recovery events of the step.
+#[derive(Clone, Debug)]
+pub struct DriftStep {
+    /// Failure/recovery events that happened at this step (empty at step 0
+    /// and on cost-only traces).
+    pub events: Vec<DriftEvent>,
+    /// Cumulative multiplicative cost factor per edge (1.0 at step 0), not
+    /// including the failure scaling.
+    factors: Vec<f64>,
+    /// Current failure state per edge.
+    failed: Vec<bool>,
+}
+
+impl DriftStep {
+    /// Cumulative cost factor of `edge` (excluding the failure scaling).
+    pub fn factor(&self, edge: EdgeId) -> f64 {
+        self.factors[edge.index()]
+    }
+
+    /// True when `edge` is down at this step.
+    pub fn is_failed(&self, edge: EdgeId) -> bool {
+        self.failed[edge.index()]
+    }
+
+    /// Number of links down at this step.
+    pub fn failed_count(&self) -> usize {
+        self.failed.iter().filter(|&&f| f).count()
+    }
+}
+
+/// A seeded, replayable sequence of drifted snapshots of one base platform.
+///
+/// ```
+/// use bcast_platform::drift::{DriftConfig, DriftTrace};
+/// use bcast_platform::{LinkCost, NodeId, Platform};
+///
+/// let mut b = Platform::builder();
+/// let p = b.add_processors(3);
+/// b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+/// b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 2.0));
+/// let platform = b.build();
+///
+/// let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::gentle(5, 42));
+/// assert_eq!(trace.len(), 6); // baseline + 5 drift steps
+/// for step in 0..trace.len() {
+///     let snapshot = trace.platform_at(step);
+///     assert!(snapshot.is_broadcast_feasible(NodeId(0)));
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DriftTrace {
+    base: Platform,
+    source: NodeId,
+    steps: Vec<DriftStep>,
+}
+
+impl DriftTrace {
+    /// Generates the trace for `base` deterministically from `config`.
+    ///
+    /// # Panics
+    /// Panics when the base platform cannot broadcast from `source` (a
+    /// trace over an infeasible platform is meaningless) or when the
+    /// config's probabilities/factors are out of range.
+    pub fn generate(base: &Platform, source: NodeId, config: &DriftConfig) -> DriftTrace {
+        assert!(
+            base.is_broadcast_feasible(source),
+            "the base platform cannot broadcast from {source}"
+        );
+        assert!(config.sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&config.failure_rate)
+                && (0.0..=1.0).contains(&config.recovery_rate),
+            "failure/recovery rates are probabilities"
+        );
+        assert!(
+            config.min_factor > 0.0 && config.min_factor <= 1.0 && config.max_factor >= 1.0,
+            "the factor corridor must contain 1.0"
+        );
+        let m = base.edge_count();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut factors = vec![1.0f64; m];
+        let mut failed = vec![false; m];
+        let mut steps = Vec::with_capacity(config.steps + 1);
+        steps.push(DriftStep {
+            events: Vec::new(),
+            factors: factors.clone(),
+            failed: failed.clone(),
+        });
+        for _ in 0..config.steps {
+            let mut events = Vec::new();
+            // 1. Cost drift: one lognormal factor per edge, every step, in
+            //    edge order (part of the deterministic RNG stream).
+            if config.sigma > 0.0 {
+                for factor in factors.iter_mut() {
+                    let z = sample_normal(&mut rng, 0.0, 1.0);
+                    *factor = (*factor * (config.sigma * z).exp())
+                        .clamp(config.min_factor, config.max_factor);
+                }
+            }
+            // 2. Recoveries before failures; a link that just recovered is
+            //    shielded from the failure pass so it cannot flap within
+            //    one step.
+            let mut recovered_now = vec![false; m];
+            if config.recovery_rate > 0.0 {
+                for e in 0..m {
+                    if failed[e] && rng.gen_range(0.0..1.0) < config.recovery_rate {
+                        failed[e] = false;
+                        recovered_now[e] = true;
+                        events.push(DriftEvent::LinkRecovered(EdgeId(e as u32)));
+                    }
+                }
+            }
+            // 3. Failures, each guarded by a reachability check on the
+            //    residual live-edge set so the broadcast stays feasible.
+            if config.failure_rate > 0.0 {
+                for e in 0..m {
+                    if !failed[e]
+                        && !recovered_now[e]
+                        && rng.gen_range(0.0..1.0) < config.failure_rate
+                    {
+                        failed[e] = true;
+                        let live: Vec<bool> = failed.iter().map(|&f| !f).collect();
+                        if traversal::all_reachable_from(base.graph(), source, Some(&live)) {
+                            events.push(DriftEvent::LinkFailed(EdgeId(e as u32)));
+                        } else {
+                            failed[e] = false; // would disconnect: skip
+                        }
+                    }
+                }
+            }
+            steps.push(DriftStep {
+                events,
+                factors: factors.clone(),
+                failed: failed.clone(),
+            });
+        }
+        DriftTrace {
+            base: base.clone(),
+            source,
+            steps,
+        }
+    }
+
+    /// Number of snapshots (baseline + drift steps).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the trace holds only the baseline snapshot.
+    pub fn is_empty(&self) -> bool {
+        self.steps.len() <= 1
+    }
+
+    /// The broadcast source the trace was generated for.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The unperturbed base platform (= `platform_at(0)`).
+    pub fn base(&self) -> &Platform {
+        &self.base
+    }
+
+    /// The drift state of snapshot `step`.
+    pub fn step(&self, step: usize) -> &DriftStep {
+        &self.steps[step]
+    }
+
+    /// Materialises snapshot `step` as a platform: every link cost is the
+    /// base cost scaled by the step's cumulative factor, times
+    /// [`FAILED_COST_FACTOR`] when the link is down. Scaling is uniform
+    /// over all six affine cost parameters, so the one-port/multi-port
+    /// invariants (`send ≤ T`, `recv ≤ T`) are preserved.
+    pub fn platform_at(&self, step: usize) -> Platform {
+        let state = &self.steps[step];
+        self.base.map_link_costs(|e, cost| {
+            let mut factor = state.factors[e.index()];
+            if state.failed[e.index()] {
+                factor *= FAILED_COST_FACTOR;
+            }
+            scale_cost(cost, factor)
+        })
+    }
+}
+
+/// Scales all six affine parameters of a link cost uniformly.
+fn scale_cost(cost: &LinkCost, factor: f64) -> LinkCost {
+    LinkCost {
+        alpha: cost.alpha * factor,
+        beta: cost.beta * factor,
+        send_latency: cost.send_latency * factor,
+        send_per_byte: cost.send_per_byte * factor,
+        recv_latency: cost.recv_latency * factor,
+        recv_per_byte: cost.recv_per_byte * factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::{random_platform, RandomPlatformConfig};
+    use crate::generators::tiers::{tiers_platform, TiersConfig};
+
+    fn fixture() -> Platform {
+        let mut rng = StdRng::seed_from_u64(7);
+        random_platform(&RandomPlatformConfig::paper(14, 0.15), &mut rng)
+    }
+
+    #[test]
+    fn traces_are_replayable_and_deterministic() {
+        let platform = fixture();
+        let config = DriftConfig::with_failures(6, 99);
+        let a = DriftTrace::generate(&platform, NodeId(0), &config);
+        let b = DriftTrace::generate(&platform, NodeId(0), &config);
+        assert_eq!(a.len(), 7);
+        for step in 0..a.len() {
+            for e in platform.edges() {
+                assert_eq!(a.step(step).factor(e), b.step(step).factor(e));
+                assert_eq!(a.step(step).is_failed(e), b.step(step).is_failed(e));
+            }
+            assert_eq!(a.step(step).events, b.step(step).events);
+        }
+    }
+
+    #[test]
+    fn step_zero_is_the_base_platform() {
+        let platform = fixture();
+        let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::gentle(3, 1));
+        let snapshot = trace.platform_at(0);
+        for e in platform.edges() {
+            assert_eq!(snapshot.link_cost(e), platform.link_cost(e));
+        }
+    }
+
+    #[test]
+    fn factors_stay_in_the_corridor_and_costs_scale() {
+        let platform = fixture();
+        let config = DriftConfig::gentle(25, 5);
+        let trace = DriftTrace::generate(&platform, NodeId(0), &config);
+        for step in 0..trace.len() {
+            let snapshot = trace.platform_at(step);
+            for e in platform.edges() {
+                let factor = trace.step(step).factor(e);
+                assert!(
+                    (config.min_factor..=config.max_factor).contains(&factor),
+                    "factor {factor} left the corridor"
+                );
+                let base = platform.link_cost(e);
+                let drifted = snapshot.link_cost(e);
+                assert!((drifted.beta - base.beta * factor).abs() <= 1e-12 * base.beta.abs());
+                assert!(drifted.is_valid(), "drift broke the cost invariants");
+            }
+        }
+    }
+
+    #[test]
+    fn every_snapshot_stays_broadcast_feasible() {
+        // Tiers platforms are sparse and hierarchical — the hardest case
+        // for the connectivity guard (many bridges).
+        let mut rng = StdRng::seed_from_u64(11);
+        let platform = tiers_platform(&TiersConfig::paper(30, 0.10), &mut rng);
+        let config = DriftConfig {
+            failure_rate: 0.2, // aggressive churn
+            recovery_rate: 0.2,
+            ..DriftConfig::gentle(12, 3)
+        };
+        let trace = DriftTrace::generate(&platform, NodeId(0), &config);
+        let mut saw_failure = false;
+        for step in 0..trace.len() {
+            saw_failure |= trace.step(step).failed_count() > 0;
+            assert!(trace.platform_at(step).is_broadcast_feasible(NodeId(0)));
+        }
+        assert!(saw_failure, "churn config never failed a link");
+    }
+
+    #[test]
+    fn failed_links_are_soft_failures() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(3);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 1.0));
+        let platform = b.build();
+        let config = DriftConfig {
+            sigma: 0.0,
+            failure_rate: 0.5,
+            recovery_rate: 0.0,
+            ..DriftConfig::gentle(8, 13)
+        };
+        let trace = DriftTrace::generate(&platform, NodeId(0), &config);
+        let last = trace.len() - 1;
+        assert!(trace.step(last).failed_count() > 0, "no link ever failed");
+        let snapshot = trace.platform_at(last);
+        assert_eq!(snapshot.edge_count(), platform.edge_count());
+        for e in platform.edges() {
+            if trace.step(last).is_failed(e) {
+                let expected = platform.link_cost(e).beta * FAILED_COST_FACTOR;
+                assert!((snapshot.link_cost(e).beta - expected).abs() <= 1e-6 * expected);
+            }
+        }
+    }
+
+    #[test]
+    fn events_report_failures_and_recoveries() {
+        let platform = fixture();
+        let config = DriftConfig {
+            failure_rate: 0.3,
+            recovery_rate: 0.5,
+            ..DriftConfig::gentle(10, 21)
+        };
+        let trace = DriftTrace::generate(&platform, NodeId(0), &config);
+        let mut failures = 0usize;
+        let mut recoveries = 0usize;
+        for step in 1..trace.len() {
+            for event in &trace.step(step).events {
+                match event {
+                    DriftEvent::LinkFailed(e) => {
+                        failures += 1;
+                        assert!(trace.step(step).is_failed(*e));
+                        assert!(!trace.step(step - 1).is_failed(*e));
+                    }
+                    DriftEvent::LinkRecovered(e) => {
+                        recoveries += 1;
+                        assert!(!trace.step(step).is_failed(*e));
+                        assert!(trace.step(step - 1).is_failed(*e));
+                    }
+                }
+            }
+        }
+        assert!(failures > 0 && recoveries > 0, "churn config inert");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn infeasible_base_platform_is_rejected() {
+        let mut b = Platform::builder();
+        let p = b.add_processors(2);
+        b.add_link(p[1], p[0], LinkCost::default());
+        let platform = b.build();
+        DriftTrace::generate(&platform, NodeId(0), &DriftConfig::gentle(1, 1));
+    }
+}

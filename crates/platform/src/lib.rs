@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod drift;
 pub mod generators;
 pub mod model;
 pub mod platform;
 
 pub use cost::LinkCost;
+pub use drift::{DriftConfig, DriftEvent, DriftStep, DriftTrace};
 pub use model::{CommModel, MessageSpec};
 pub use platform::{Platform, PlatformBuilder, Processor};
 

@@ -118,6 +118,20 @@ impl Platform {
         self.graph.edge_ids()
     }
 
+    /// Returns a copy of the platform with every link cost replaced by
+    /// `f(edge, cost)` — same processors, same topology, new costs. This is
+    /// the substrate for derived platforms (drift traces, what-if cost
+    /// scalings) that must keep edge identities stable so LP variable
+    /// spaces and cut pools can be shared with the original.
+    pub fn map_link_costs<F>(&self, f: F) -> Platform
+    where
+        F: FnMut(EdgeId, &LinkCost) -> LinkCost,
+    {
+        Platform {
+            graph: self.graph.map_edges(f),
+        }
+    }
+
     /// Returns a copy of the platform where every link's sender occupation is
     /// replaced by the multi-port overhead of the paper's experiments:
     /// `send_u = overlap · min_w T_{u,w}(reference_size)` spread as a

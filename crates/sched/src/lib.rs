@@ -44,7 +44,7 @@ pub use rounding::{round_loads, RoundedLoads, RoundingConfig};
 pub use schedule::{PeriodicSchedule, ScheduleRound, ScheduledTransfer};
 
 use bcast_core::{BroadcastStructure, OptimalThroughput};
-use bcast_net::NodeId;
+use bcast_net::{EdgeId, NodeId};
 use bcast_platform::{CommModel, Platform};
 
 /// Options of [`synthesize_schedule`].
@@ -200,6 +200,7 @@ pub fn synthesize_schedule_with_tree_fallback(
             ideal_period: 1.0 / optimal.throughput,
             loss_bound: (period_lb * optimal.throughput - 1.0).max(0.0),
             repairs: 0,
+            dominated: vec![false; platform.edge_count()],
         };
         let candidate = schedule::assemble(
             platform,
@@ -216,6 +217,188 @@ pub fn synthesize_schedule_with_tree_fallback(
         }
     }
     Ok(best)
+}
+
+/// How much of the previous period survived an incremental re-synthesis
+/// (see [`resynthesize_schedule`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Trees of the previous period kept verbatim (they still fit the new
+    /// rounded multiplicities).
+    pub kept_trees: usize,
+    /// Trees re-packed against the residual capacities.
+    pub rebuilt_trees: usize,
+    /// True when incremental repair was impossible (batch size changed, the
+    /// residual packing failed, or there was no usable previous schedule)
+    /// and the schedule was synthesized from scratch.
+    pub full_rebuild: bool,
+}
+
+impl RepairReport {
+    /// Repair operations performed: rebuilt trees, or the full batch on a
+    /// from-scratch rebuild.
+    pub fn repair_ops(&self) -> usize {
+        if self.full_rebuild {
+            self.kept_trees + self.rebuilt_trees
+        } else {
+            self.rebuilt_trees
+        }
+    }
+}
+
+/// A repaired schedule whose throughput falls below this fraction of the
+/// current LP bound is discarded for a full re-synthesis: the quality gate
+/// that keeps incremental repair from decaying indefinitely under drift.
+const REPAIR_EFFICIENCY_FLOOR: f64 = 0.85;
+
+/// Re-synthesizes a periodic schedule after the platform's link costs
+/// drifted, **repairing** the previous period instead of rebuilding it.
+///
+/// The LP re-solve hands back new edge loads; this entry point keeps the
+/// previous schedule's batch size and trees and only rebuilds what the
+/// drift actually broke:
+///
+/// 1. every previous arborescence whose edges are all still *serviceable*
+///    (not failed/dominated: an edge slower per slice than the whole ideal
+///    period — the soft-failure representation of a drift trace) is kept
+///    verbatim, its capacity grandfathered into the multiplicity vector.
+///    The new LP vertex's loads are deliberately **not** the keep
+///    criterion: the master LP is massively degenerate, so loads can swing
+///    between equivalent vertices while the timetable cost of a kept tree
+///    changes only with the drift itself;
+/// 2. trees hit by a failure are re-packed against the residual capacities
+///    (the new rounded multiplicities minus what the kept trees consume);
+/// 3. the timetable and the causality lags are re-derived for the new
+///    costs (mandatory either way — every transfer's duration changed).
+///
+/// Repair is heuristic, so it is guarded: when the residual packing fails,
+/// the batch size changed, or the repaired schedule falls below
+/// [`REPAIR_EFFICIENCY_FLOOR`] of the current LP bound, the function
+/// transparently falls back to a full [`synthesize_schedule`] — the
+/// returned schedule is always valid and never silently degraded; the
+/// [`RepairReport`] says which path ran.
+///
+/// The returned schedule passes [`PeriodicSchedule::validate`] against
+/// `platform` (debug-asserted here, re-checked by the drift test suite at
+/// every step).
+pub fn resynthesize_schedule(
+    platform: &Platform,
+    source: NodeId,
+    optimal: &OptimalThroughput,
+    slice_size: f64,
+    config: &SynthesisConfig,
+    previous: &PeriodicSchedule,
+) -> Result<(PeriodicSchedule, RepairReport), SchedError> {
+    let full_rebuild =
+        |platform: &Platform| -> Result<(PeriodicSchedule, RepairReport), SchedError> {
+            let schedule = synthesize_schedule(platform, source, optimal, slice_size, config)?;
+            let report = RepairReport {
+                kept_trees: 0,
+                rebuilt_trees: schedule.slices_per_period(),
+                full_rebuild: true,
+            };
+            Ok((schedule, report))
+        };
+    let batch = previous.slices_per_period();
+    let n = platform.node_count();
+    let m = platform.edge_count();
+    let usable = n > 1
+        && previous.source() == source
+        && previous.trees().len() == batch
+        && previous
+            .trees()
+            .iter()
+            .all(|t| t.len() == n - 1 && t.iter().all(|e| e.index() < m));
+    if !usable {
+        return full_rebuild(platform);
+    }
+    if matches!(config.model, CommModel::OnePortUnidirectional) {
+        return Err(SchedError::UnsupportedModel);
+    }
+    if !platform.is_broadcast_feasible(source) {
+        return Err(SchedError::Unreachable { source });
+    }
+    if !(optimal.throughput.is_finite() && optimal.throughput > 0.0) {
+        return Err(SchedError::NonPositiveThroughput);
+    }
+    // Pin the previous batch size: period-to-period stability matters more
+    // than re-deriving B from the loss target every step.
+    let rounding_config = RoundingConfig {
+        slices_per_period: Some(batch),
+        ..config.rounding
+    };
+    let mut rounded = round_loads(
+        platform,
+        source,
+        &optimal.edge_load,
+        optimal.throughput,
+        slice_size,
+        &rounding_config,
+    )?;
+    // 1. Keep the previous trees whose edges are all serviceable — i.e.
+    //    not *dominated* per `round_loads` (per-slice time beyond the
+    //    ideal period with only a sub-slice LP artifact on the edge:
+    //    failed links of a drift trace land there; ordinary drifted links
+    //    never do).
+    let mut used = vec![0u32; platform.edge_count()];
+    let mut kept: Vec<Vec<EdgeId>> = Vec::with_capacity(batch);
+    for tree in previous.trees() {
+        if tree.iter().all(|&e| !rounded.dominated[e.index()]) {
+            for &e in tree {
+                used[e.index()] += 1;
+            }
+            kept.push(tree.clone());
+        }
+    }
+    let missing = batch - kept.len();
+    let report = RepairReport {
+        kept_trees: kept.len(),
+        rebuilt_trees: missing,
+        full_rebuild: false,
+    };
+    // Grandfather the kept trees' capacity: the multiplicity vector is the
+    // schedule's bookkeeping bound (validate: usage ≤ multiplicity), and a
+    // kept tree's edges stay cheap under gentle drift even when the new —
+    // degenerate — LP vertex moved its loads elsewhere.
+    for (mult, &usage) in rounded.multiplicity.iter_mut().zip(&used) {
+        *mult = (*mult).max(usage);
+    }
+    // 2. Re-pack only the evicted trees against the residual capacities.
+    let mut trees = kept;
+    if missing > 0 {
+        let residual: Vec<u32> = rounded
+            .multiplicity
+            .iter()
+            .zip(&used)
+            .map(|(&cap, &u)| cap - u)
+            .collect();
+        match pack_arborescences(platform, source, &residual, missing) {
+            Ok(rebuilt) => trees.extend(rebuilt),
+            Err(_) => {
+                // The kept subset left an unpackable residual: repair is
+                // impossible, synthesize from scratch.
+                return full_rebuild(platform);
+            }
+        }
+    }
+    // 3. Re-time the period against the drifted costs.
+    let schedule = schedule::assemble(
+        platform,
+        source,
+        config.model,
+        slice_size,
+        optimal.throughput,
+        rounded,
+        trees,
+    );
+    debug_assert!(schedule.validate(platform).is_ok());
+    // Quality gate: repair must stay within REPAIR_EFFICIENCY_FLOOR of the
+    // LP bound or the drift has restructured the platform enough that a
+    // fresh synthesis is worth its cost.
+    if schedule.efficiency() < REPAIR_EFFICIENCY_FLOOR {
+        return full_rebuild(platform);
+    }
+    Ok((schedule, report))
 }
 
 #[cfg(test)]
@@ -438,6 +621,101 @@ mod tests {
             );
             assert!(best.throughput() <= optimal.throughput * (1.0 + 1e-6));
         }
+    }
+
+    #[test]
+    fn resynthesis_repairs_across_a_drift_trace() {
+        use bcast_core::{CutGenOptions, CutGenSession};
+        use bcast_platform::drift::{DriftConfig, DriftTrace};
+        let mut rng = StdRng::seed_from_u64(61);
+        let platform = random_platform(&RandomPlatformConfig::paper(14, 0.12), &mut rng);
+        let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_failures(6, 7));
+        let config = SynthesisConfig::with_batch(12);
+        // The real drift pipeline: one warm cut-generation session, whose
+        // dual repair stays near the previous vertex — that stability is
+        // what makes tree repair (rather than rebuild) possible at all.
+        let mut session =
+            CutGenSession::new(&platform, NodeId(0), SLICE, CutGenOptions::default()).unwrap();
+        let first = session.solve_step(&trace.platform_at(0)).unwrap();
+        let mut schedule = synthesize_schedule(
+            &trace.platform_at(0),
+            NodeId(0),
+            &first.optimal,
+            SLICE,
+            &config,
+        )
+        .unwrap();
+        let mut kept_total = 0usize;
+        for step in 1..trace.len() {
+            let snapshot = trace.platform_at(step);
+            let optimal = session.solve_step(&snapshot).unwrap().optimal;
+            let (repaired, report) =
+                resynthesize_schedule(&snapshot, NodeId(0), &optimal, SLICE, &config, &schedule)
+                    .unwrap();
+            repaired.validate(&snapshot).unwrap();
+            assert_eq!(repaired.slices_per_period(), 12, "batch size drifted");
+            assert!(
+                repaired.efficiency() > 0.8,
+                "step {step}: efficiency {} collapsed (report {report:?})",
+                repaired.efficiency()
+            );
+            if !report.full_rebuild {
+                assert_eq!(report.kept_trees + report.rebuilt_trees, 12);
+            }
+            kept_total += report.kept_trees;
+            schedule = repaired;
+        }
+        assert!(kept_total > 0, "repair never kept a single tree");
+    }
+
+    #[test]
+    fn resynthesis_with_identical_loads_keeps_every_tree() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let platform = random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng);
+        let optimal =
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+        let config = SynthesisConfig::with_batch(8);
+        let schedule = synthesize_schedule(&platform, NodeId(0), &optimal, SLICE, &config).unwrap();
+        let (repaired, report) =
+            resynthesize_schedule(&platform, NodeId(0), &optimal, SLICE, &config, &schedule)
+                .unwrap();
+        assert!(!report.full_rebuild);
+        assert_eq!(report.kept_trees, 8);
+        assert_eq!(report.rebuilt_trees, 0);
+        assert_eq!(report.repair_ops(), 0);
+        assert_eq!(repaired.period(), schedule.period());
+        assert_eq!(repaired.trees(), schedule.trees());
+    }
+
+    #[test]
+    fn resynthesis_falls_back_when_the_previous_schedule_is_unusable() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let platform = random_platform(&RandomPlatformConfig::paper(10, 0.2), &mut rng);
+        let optimal =
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+        // "Previous" schedule from a different source: unusable, must fall
+        // back to a clean full synthesis for source 0.
+        let other = synthesize_schedule(
+            &platform,
+            NodeId(1),
+            &optimal_throughput(&platform, NodeId(1), SLICE, OptimalMethod::CutGeneration).unwrap(),
+            SLICE,
+            &SynthesisConfig::with_batch(6),
+        )
+        .unwrap();
+        let (repaired, report) = resynthesize_schedule(
+            &platform,
+            NodeId(0),
+            &optimal,
+            SLICE,
+            &SynthesisConfig::default(),
+            &other,
+        )
+        .unwrap();
+        assert!(report.full_rebuild);
+        assert!(report.repair_ops() > 0);
+        repaired.validate(&platform).unwrap();
+        assert_eq!(repaired.source(), NodeId(0));
     }
 
     #[test]

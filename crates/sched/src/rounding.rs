@@ -64,6 +64,12 @@ pub struct RoundedLoads {
     pub loss_bound: f64,
     /// Number of capacity bumps the integer-feasibility repair pass needed.
     pub repairs: usize,
+    /// Per-edge *dominated* flags: an edge whose single-slice time exceeds
+    /// the whole ideal period while the LP only parks a sub-slice artifact
+    /// on it (the soft-failure representation of a drift trace). Dominated
+    /// edges are rounded down to zero and avoided by the repair pass; the
+    /// incremental re-synthesis also evicts previous trees that use one.
+    pub dominated: Vec<bool>,
 }
 
 /// Choice of the batch size `B`.
@@ -153,13 +159,34 @@ pub fn round_loads(
             )
         }
     };
+    // Slices-per-load scale factor and the ideal period `B/TP` are the
+    // same number (one in slices per load unit, one in seconds); computed
+    // once here, reused in the result below.
     let scale = batch as f64 / throughput;
-
+    let ideal_period = scale;
+    // An edge whose single-slice time exceeds the whole ideal period can
+    // only hurt: scheduling even one slice on it makes the period at least
+    // that time. Soft-failed links of a drift trace (cost scaled by ~1e6)
+    // are the motivating case — the LP parks a numerically tiny load on
+    // them, and ceiling that artifact to one real slice per period would
+    // inflate the period a million-fold. Such edges are *dominated*: their
+    // sub-slice capacity is rounded down instead of up, and the max-flow
+    // repair pass below restores any lost cut capacity through faster
+    // edges (it only falls back to a dominated edge when no alternative
+    // crossing edge exists).
+    let dominated: Vec<bool> = (0..m)
+        .map(|e| {
+            let ideal = loads[e] * scale;
+            ideal < 1.0
+                && platform.link_time(bcast_net::EdgeId(e as u32), slice_size) > ideal_period
+        })
+        .collect();
     let mut multiplicity: Vec<u32> = loads
         .iter()
-        .map(|&l| {
+        .enumerate()
+        .map(|(e, &l)| {
             let ideal = l * scale;
-            if ideal <= CEIL_TOL {
+            if ideal <= CEIL_TOL || dominated[e] {
                 0
             } else {
                 (ideal - CEIL_TOL).ceil().max(1.0) as u32
@@ -178,18 +205,29 @@ pub fn round_loads(
                 break;
             }
             // Bump the crossing edge that was rounded down the most (the
-            // ceiling tolerance is the usual culprit); break ties by edge id.
-            let mut best: Option<(f64, usize)> = None;
+            // ceiling tolerance is the usual culprit); break ties by edge
+            // id. Dominated (slower-than-the-period) edges are a last
+            // resort: a fast edge is bumped whenever one crosses the cut,
+            // no matter the deficits.
+            let mut best: Option<(bool, f64, usize)> = None;
             for e in graph.edges() {
                 if flow.source_side[e.src.index()] && !flow.source_side[e.dst.index()] {
+                    let fast = !dominated[e.id.index()];
                     let deficit =
                         loads[e.id.index()] * scale - f64::from(multiplicity[e.id.index()]);
-                    if best.is_none_or(|(d, _)| deficit > d + 1e-12) {
-                        best = Some((deficit, e.id.index()));
+                    let better = match best {
+                        None => true,
+                        Some((best_fast, best_deficit, _)) => {
+                            (fast && !best_fast)
+                                || (fast == best_fast && deficit > best_deficit + 1e-12)
+                        }
+                    };
+                    if better {
+                        best = Some((fast, deficit, e.id.index()));
                     }
                 }
             }
-            let Some((_, e)) = best else {
+            let Some((_, _, e)) = best else {
                 return Err(SchedError::Unreachable { source });
             };
             multiplicity[e] += 1;
@@ -197,7 +235,6 @@ pub fn round_loads(
         }
     }
 
-    let ideal_period = batch as f64 / throughput;
     let loss_bound = throughput * (max_port_time + repairs as f64 * max_edge_time) / batch as f64;
     Ok(RoundedLoads {
         slices_per_period: batch,
@@ -205,6 +242,7 @@ pub fn round_loads(
         ideal_period,
         loss_bound,
         repairs,
+        dominated,
     })
 }
 

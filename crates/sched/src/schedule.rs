@@ -571,6 +571,7 @@ pub(crate) fn trivial(
             ideal_period: 0.0,
             loss_bound: 0.0,
             repairs: 0,
+            dominated: Vec::new(),
         },
     }
 }

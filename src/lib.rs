@@ -60,8 +60,11 @@ pub mod prelude {
         pipelined_completion_time, sta_makespan, steady_state_bandwidth, steady_state_period,
         steady_state_throughput,
     };
-    pub use bcast_core::{BroadcastStructure, CoreError, CutGenOptions, CutGenResult, NodeCutSet};
+    pub use bcast_core::{
+        BroadcastStructure, CoreError, CutGenOptions, CutGenResult, CutGenSession, NodeCutSet,
+    };
     pub use bcast_net::{EdgeId, NodeId};
+    pub use bcast_platform::drift::{DriftConfig, DriftEvent, DriftStep, DriftTrace};
     pub use bcast_platform::generators::gaussian_field::{
         gaussian_platform, GaussianPlatformConfig,
     };
@@ -69,8 +72,8 @@ pub mod prelude {
     pub use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
     pub use bcast_platform::{CommModel, LinkCost, MessageSpec, Platform, PlatformBuilder};
     pub use bcast_sched::{
-        synthesize_schedule, synthesize_schedule_with_tree_fallback, PeriodicSchedule,
-        RoundingConfig, SchedError, SynthesisConfig,
+        resynthesize_schedule, synthesize_schedule, synthesize_schedule_with_tree_fallback,
+        PeriodicSchedule, RepairReport, RoundingConfig, SchedError, SynthesisConfig,
     };
     pub use bcast_sim::{
         simulate_broadcast, simulate_schedule, SimulationConfig, SimulationReport,

@@ -276,6 +276,144 @@ fn cut_generation_stats_match_their_goldens() {
 }
 
 #[test]
+fn drift_trace_stats_match_their_goldens() {
+    // Golden per-step statistics of the dynamic-platform pipeline — warm
+    // cut-generation session + incremental schedule repair along a
+    // link-cost drift trace — for one fixed seed per platform family:
+    // throughput (to 1e-7 relative), simplex pivots, cuts reused from the
+    // pool, and schedule repair operations at every step. Pinned for the
+    // same reason as the cut-generation goldens above: the pipeline is
+    // required to be bit-deterministic, and degenerate-vertex drift in the
+    // warm re-solves should be a deliberate change, not silent churn.
+    // Rerun with `--nocapture` to print the observed tuples for an
+    // *intentional* solver or repair change.
+    struct GoldenTrace {
+        label: &'static str,
+        batch: usize,
+        // (throughput, simplex pivots, cuts reused, repair ops) per step.
+        steps: Vec<(f64, usize, usize, usize)>,
+    }
+    let goldens = [
+        GoldenTrace {
+            label: "random-12",
+            batch: 8,
+            steps: vec![
+                (88.5196294, 59, 0, 0),
+                (82.1243517, 10, 20, 8),
+                (70.8243881, 55, 20, 8),
+                (84.6024662, 16, 23, 8),
+            ],
+        },
+        GoldenTrace {
+            label: "tiers-20",
+            batch: 8,
+            steps: vec![
+                (22.1543323, 41, 0, 0),
+                (22.5662494, 1, 28, 0),
+                (24.4061582, 1, 28, 8),
+                (22.7495636, 0, 28, 0),
+            ],
+        },
+        GoldenTrace {
+            label: "gaussian-20",
+            batch: 8,
+            steps: vec![
+                (11.8467300, 110, 0, 0),
+                (11.4742380, 0, 34, 0),
+                (11.9616509, 0, 34, 0),
+                (12.2607609, 0, 34, 0),
+            ],
+        },
+    ];
+    // Collect every family's observations before asserting, so a rerun
+    // with `--nocapture` prints the full replacement table in one pass.
+    type StepStats = (f64, usize, usize, usize);
+    let mut observed: Vec<(&'static str, Vec<StepStats>)> = Vec::new();
+    for golden in &goldens {
+        let platform = match golden.label {
+            "random-12" => fixture(),
+            "tiers-20" => {
+                let mut rng = StdRng::seed_from_u64(SEED);
+                tiers_platform(&TiersConfig::paper(20, 0.10), &mut rng)
+            }
+            "gaussian-20" => {
+                let mut rng = StdRng::seed_from_u64(SEED);
+                gaussian_platform(&GaussianPlatformConfig::paper(20), &mut rng)
+            }
+            _ => unreachable!(),
+        };
+        let trace = DriftTrace::generate(
+            &platform,
+            NodeId(0),
+            &DriftConfig::with_failures(golden.steps.len() - 1, SEED),
+        );
+        let config = SynthesisConfig::with_batch(golden.batch);
+        let mut session =
+            CutGenSession::new(trace.base(), NodeId(0), SLICE, CutGenOptions::default())
+                .expect("base solvable");
+        let mut previous: Option<PeriodicSchedule> = None;
+        let mut rows = Vec::new();
+        for step in 0..golden.steps.len() {
+            let snapshot = trace.platform_at(step);
+            let result = session.solve_step(&snapshot).expect("step solvable");
+            let (schedule, report) = match &previous {
+                None => (
+                    synthesize_schedule(&snapshot, NodeId(0), &result.optimal, SLICE, &config)
+                        .expect("synthesis succeeds"),
+                    RepairReport::default(),
+                ),
+                Some(prev) => resynthesize_schedule(
+                    &snapshot,
+                    NodeId(0),
+                    &result.optimal,
+                    SLICE,
+                    &config,
+                    prev,
+                )
+                .expect("repair succeeds"),
+            };
+            schedule.validate(&snapshot).expect("schedule is feasible");
+            println!(
+                "{} step {step}: ({:.7}, {}, {}, {}),",
+                golden.label,
+                result.optimal.throughput,
+                result.optimal.simplex_iterations,
+                result.reused_cuts,
+                report.repair_ops(),
+            );
+            rows.push((
+                result.optimal.throughput,
+                result.optimal.simplex_iterations,
+                result.reused_cuts,
+                report.repair_ops(),
+            ));
+            previous = Some(schedule);
+        }
+        observed.push((golden.label, rows));
+    }
+    for (golden, (label, rows)) in goldens.iter().zip(&observed) {
+        assert_eq!(golden.label, *label);
+        for (step, (&(tp, pivots, reused, repairs), &(otp, opivots, oreused, orepairs))) in
+            golden.steps.iter().zip(rows).enumerate()
+        {
+            assert!(
+                (otp - tp).abs() <= 1e-7 * tp,
+                "{label} step {step}: throughput drifted: observed {otp:.7}, golden {tp:.7}"
+            );
+            assert_eq!(opivots, pivots, "{label} step {step}: pivot count drifted");
+            assert_eq!(
+                oreused, reused,
+                "{label} step {step}: reused-cut count drifted"
+            );
+            assert_eq!(
+                orepairs, repairs,
+                "{label} step {step}: repair-op count drifted"
+            );
+        }
+    }
+}
+
+#[test]
 fn simulation_reports_are_deterministic() {
     let platform = fixture();
     let tree = build_structure(

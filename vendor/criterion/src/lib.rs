@@ -2,10 +2,11 @@
 //! benchmarking API.
 //!
 //! Benchmarks compile and run with `cargo bench`, timing each closure with
-//! `std::time::Instant` and reporting the median over `sample_size` samples.
-//! There are no statistical tests, plots, or baselines — this exists so the
-//! workspace's benches stay buildable and give honest ballpark numbers in an
-//! environment that cannot fetch the real crate.
+//! `std::time::Instant` and reporting median, mean, min, max, and the
+//! sample count over `sample_size` samples. There are no statistical
+//! tests, plots, or baselines — this exists so the workspace's benches
+//! stay buildable and give honest ballpark numbers in an environment that
+//! cannot fetch the real crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -177,18 +178,24 @@ impl Bencher {
     }
 
     fn report(&mut self, label: &str) {
-        if self.durations.is_empty() {
-            println!("  {label}: no samples recorded");
-            return;
+        println!("  {}", Self::stats_line(label, &mut self.durations));
+    }
+
+    /// The full stats line for a set of samples: median, mean, min, max,
+    /// and the sample count. Median alone hides the spread; warm-vs-cold
+    /// comparisons (the drift and warm-start bench groups) need min/max
+    /// and `n` to tell a genuine shift from a noisy outlier.
+    fn stats_line(label: &str, durations: &mut [Duration]) -> String {
+        if durations.is_empty() {
+            return format!("{label}: no samples recorded");
         }
-        self.durations.sort_unstable();
-        let median = self.durations[self.durations.len() / 2];
-        let min = self.durations[0];
-        let max = self.durations[self.durations.len() - 1];
-        println!(
-            "  {label}: median {median:?} (min {min:?}, max {max:?}, {} samples)",
-            self.durations.len()
-        );
+        durations.sort_unstable();
+        let n = durations.len();
+        let median = durations[n / 2];
+        let min = durations[0];
+        let max = durations[n - 1];
+        let mean = durations.iter().sum::<Duration>() / n as u32;
+        format!("{label}: median {median:?} mean {mean:?} (min {min:?}, max {max:?}, n={n})")
     }
 }
 
@@ -246,5 +253,24 @@ mod tests {
     #[test]
     fn benchmark_id_formats_like_criterion() {
         assert_eq!(BenchmarkId::new("grow", 30).to_string(), "grow/30");
+    }
+
+    #[test]
+    fn stats_line_reports_median_mean_min_max_and_count() {
+        let mut durations = vec![
+            Duration::from_millis(30),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        ];
+        let line = Bencher::stats_line("case", &mut durations);
+        assert_eq!(
+            line,
+            "case: median 20ms mean 20ms (min 10ms, max 30ms, n=3)"
+        );
+        let mut empty: Vec<Duration> = Vec::new();
+        assert_eq!(
+            Bencher::stats_line("case", &mut empty),
+            "case: no samples recorded"
+        );
     }
 }
