@@ -47,10 +47,11 @@
 use crate::error::CoreError;
 use crate::optimal::{edge_lp_skeleton, edge_lp_vars, port_constraints, OptimalThroughput};
 use bcast_lp::{
-    Constraint, ConstraintOp, LpProblem, LpSolution, RowId, RowUpdate, SimplexOptions,
-    SimplexState, VarId,
+    Constraint, ConstraintOp, LpProblem, LpSolution, PricingRule, RowId, RowUpdate, SimplexEngine,
+    SimplexOptions, SimplexState, VarId,
 };
-use bcast_net::{maxflow, NodeId};
+use bcast_net::maxflow::MaxFlowSolver;
+use bcast_net::NodeId;
 use bcast_platform::Platform;
 use std::collections::HashMap;
 
@@ -61,6 +62,11 @@ const MAX_ROUNDS: usize = 400;
 
 /// Relative feasibility tolerance for the separation oracle.
 const SEPARATION_TOL: f64 = 1e-7;
+
+/// Screening margin: a destination is only skipped when its last measured
+/// flow cleared the current target by this relative margin (see
+/// [`CutGenOptions::screen_separation`]).
+const SCREEN_MARGIN: f64 = 1e-6;
 
 /// A source→destination cut stored as a node partition: `source_side[u]` is
 /// true when node `u` lies on the source side. The induced inequality is
@@ -115,6 +121,22 @@ pub struct CutGenOptions {
     /// round — the pre-incremental behaviour, kept as the reference side of
     /// the differential tests.
     pub warm_start: bool,
+    /// Which simplex engine backs the master LP: the sparse revised simplex
+    /// (the default) or the dense full tableau, kept as the differential
+    /// oracle and the ablation baseline.
+    pub lp_engine: SimplexEngine,
+    /// Pricing rule of the sparse engine (Devex by default; Dantzig for
+    /// ablation). The dense engine ignores it.
+    pub pricing: PricingRule,
+    /// Cheap separation screening (the default): skip a destination's
+    /// max-flow when its previously measured flow exceeded
+    /// `(1 + margin)·TP` *and* none of its incident edge loads decreased
+    /// since that measurement. The screen is a heuristic — before the loop
+    /// may terminate, every destination skipped in the final round is
+    /// re-checked for real, so the returned optimum is exactly the
+    /// unscreened one. Skipped max-flow calls are counted in
+    /// [`CutGenResult::skipped_separations`].
+    pub screen_separation: bool,
 }
 
 impl Default for CutGenOptions {
@@ -123,6 +145,20 @@ impl Default for CutGenOptions {
             purge_after: Some(2),
             seed_cuts: Vec::new(),
             warm_start: true,
+            lp_engine: SimplexEngine::Sparse,
+            pricing: PricingRule::Devex,
+            screen_separation: true,
+        }
+    }
+}
+
+impl CutGenOptions {
+    /// The simplex options the master LP is solved with.
+    fn simplex_options(&self) -> SimplexOptions {
+        SimplexOptions {
+            engine: self.lp_engine,
+            pricing: self.pricing,
+            ..SimplexOptions::default()
         }
     }
 }
@@ -140,6 +176,12 @@ pub struct CutGenResult {
     /// [`CutGenSession`] when this solve started (0 on a first/one-shot
     /// solve): the cut-pool half of the cross-step warm start.
     pub reused_cuts: usize,
+    /// Per-destination max-flow calls the separation screen skipped. Skips
+    /// taken in a would-be-final round are re-verified before termination
+    /// (still counted here; the re-run shows up as ordinary separation
+    /// work), so the optimum is always certified unscreened. 0 when
+    /// [`CutGenOptions::screen_separation`] is off.
+    pub skipped_separations: usize,
 }
 
 /// One stored cut of the master LP.
@@ -227,6 +269,27 @@ pub struct CutGenSession {
     cuts: Vec<Cut>,
     index_by_edges: HashMap<Vec<u32>, usize>,
     steps: usize,
+    /// Persistent max-flow scratch: the residual network is built once for
+    /// the session's topology and only its capacities are rewritten per
+    /// separation call.
+    maxflow: MaxFlowSolver,
+    /// Per-destination screening state, indexed like the destination list
+    /// (node order with the source removed).
+    screen: Vec<DestScreen>,
+    /// Stabilization center for in-out separation: a running average of the
+    /// master's optimal load vectors (empty until the first round).
+    stab_center: Vec<f64>,
+}
+
+/// Screening state of one destination: the flow measured the last time its
+/// separation max-flow actually ran, plus the loads its incident edges had
+/// at that moment.
+#[derive(Clone, Debug, Default)]
+struct DestScreen {
+    valid: bool,
+    flow: f64,
+    /// `(edge, load at measurement time)` for every incident edge.
+    incident_loads: Vec<(u32, f64)>,
 }
 
 impl CutGenSession {
@@ -255,7 +318,7 @@ impl CutGenSession {
         // a separation-aware tie-break is an open item in ROADMAP.md.
         let (master, port_rows) = if options.warm_start {
             let mut state =
-                SimplexState::new(&vars_only, SimplexOptions::default()).map_err(CoreError::Lp)?;
+                SimplexState::new(&vars_only, options.simplex_options()).map_err(CoreError::Lp)?;
             // The port rows are appended (not part of the construction
             // snapshot's constraints) so the session holds their handles
             // for the per-step coefficient updates. The assembled tableau
@@ -268,6 +331,8 @@ impl CutGenSession {
             let (base, _, _) = edge_lp_skeleton(platform, slice_size);
             (MasterLp::Cold(base), Vec::new())
         };
+        let maxflow = MaxFlowSolver::new(platform.graph());
+        let screen = vec![DestScreen::default(); n.saturating_sub(1)];
         let mut session = CutGenSession {
             options,
             source,
@@ -281,6 +346,9 @@ impl CutGenSession {
             cuts: Vec::new(),
             index_by_edges: HashMap::new(),
             steps: 0,
+            maxflow,
+            screen,
+            stab_center: Vec::new(),
         };
         // Seed cuts: the trivial partitions around the source and around
         // each destination, plus whatever the caller carried over from a
@@ -308,6 +376,64 @@ impl CutGenSession {
     /// Active cuts currently in the pool (the rows the next step reuses).
     pub fn active_cuts(&self) -> usize {
         self.cuts.iter().filter(|c| c.active).count()
+    }
+
+    /// Runs the separation max-flow for destination index `di` (node `w`)
+    /// against `loads`, refreshes its screening state, and registers the
+    /// violated min-cut if any. Returns `true` when the master gained a cut
+    /// it did not have in its previous solve.
+    fn separate_one(
+        &mut self,
+        platform: &Platform,
+        di: usize,
+        w: NodeId,
+        loads: &[f64],
+        tp_value: f64,
+        tol: f64,
+    ) -> bool {
+        let source = self.source;
+        // The oracle only needs to know whether `w`'s flow clears TP (plus
+        // enough headroom for the screen): cap the augmentation there. A
+        // capped value is only ever *under*-reported, so the violation test
+        // below and the screen's clearance test both stay conservative.
+        let limit = tp_value * (1.0 + 2.0 * SCREEN_MARGIN) + tol;
+        let flow = self
+            .maxflow
+            .solve_limited(source, w, |e| loads[e.index()], limit);
+        let graph = platform.graph();
+        let screen = &mut self.screen[di];
+        screen.valid = true;
+        screen.flow = flow;
+        screen.incident_loads.clear();
+        screen.incident_loads.extend(
+            graph
+                .in_edges(w)
+                .chain(graph.out_edges(w))
+                .map(|e| (e.id.0, loads[e.id.index()])),
+        );
+        if flow + tol < tp_value {
+            // The violated constraint is over the *platform* edges crossing
+            // the min-cut partition — including edges whose current load is
+            // zero (they are precisely the ones the master may increase).
+            let side = self.maxflow.min_cut_source_side(source).to_vec();
+            self.add_cut(platform, side)
+        } else {
+            false
+        }
+    }
+
+    /// True when the screen lets destination `di` skip its max-flow this
+    /// round: the last measured flow cleared `(1 + margin)·TP` and no
+    /// incident edge load decreased since that measurement. Heuristic only —
+    /// termination always re-verifies skipped destinations.
+    fn can_skip(&self, di: usize, tp_value: f64, loads: &[f64]) -> bool {
+        let screen = &self.screen[di];
+        screen.valid
+            && screen.flow >= (1.0 + SCREEN_MARGIN) * tp_value
+            && screen
+                .incident_loads
+                .iter()
+                .all(|&(e, old)| loads[e as usize] + 1e-12 * (1.0 + old.abs()) >= old)
     }
 
     /// Adds (or reactivates) the cut induced by `side`; returns true when
@@ -383,7 +509,8 @@ impl CutGenSession {
                 for cut in self.cuts.iter().filter(|c| c.active) {
                     lp.add_ge(&cut_row_terms(&cut.edges, self.tp, &self.n_vars), 0.0);
                 }
-                lp.solve().map_err(CoreError::Lp)?
+                lp.solve_with(&self.options.simplex_options())
+                    .map_err(CoreError::Lp)?
             }
         };
         *simplex_iterations += solution.iterations;
@@ -408,7 +535,6 @@ impl CutGenSession {
             platform.edge_count(),
             self.edges,
         );
-        let graph = platform.graph();
         let source = self.source;
         // Guard infeasible platforms explicitly: an unreachable destination
         // has only *empty* violated cuts, which the partition bookkeeping
@@ -433,6 +559,7 @@ impl CutGenSession {
                 },
                 binding_cuts: Vec::new(),
                 reused_cuts: 0,
+                skipped_separations: 0,
             });
         }
         let step = self.steps;
@@ -462,9 +589,11 @@ impl CutGenSession {
             }
         }
 
+        let screening = self.options.screen_separation;
         let mut rounds = 0usize;
         let mut purged = 0usize;
         let mut simplex_iterations = 0usize;
+        let mut skipped_separations = 0usize;
         let mut last_solution = self.solve_master(&mut simplex_iterations)?;
         loop {
             rounds += 1;
@@ -476,15 +605,43 @@ impl CutGenSession {
                 .collect();
             let tol = SEPARATION_TOL * tp_value.abs().max(1.0);
 
+            // In-out separation point: the master's optimal face is hugely
+            // degenerate, and cuts separated at a raw vertex barely nick it
+            // (the next vertex leaks new violations round after round while
+            // TP never moves). Separating at the midpoint towards a running
+            // average of the previous optima finds cuts that slice off far
+            // more of the face. Exactness is unaffected: the point is only
+            // used while it yields cuts — a round that finds none falls
+            // back to exact separation at the true master solution below.
+            let sep_point: Vec<f64> = if self.stab_center.len() == loads.len() {
+                loads
+                    .iter()
+                    .zip(&self.stab_center)
+                    .map(|(&l, &c)| 0.5 * (l + c))
+                    .collect()
+            } else {
+                loads.clone()
+            };
+
             let mut new_cuts = 0usize;
-            for w in &destinations {
-                let flow = maxflow::max_flow(graph, source, *w, |e, _| loads[e.index()]);
-                if flow.value + tol < tp_value {
-                    // The violated constraint is over the *platform* edges
-                    // crossing the min-cut partition — including edges whose
-                    // current load is zero (they are precisely the ones the
-                    // master may increase).
-                    if self.add_cut(platform, flow.source_side) {
+            let mut skipped_this_round: Vec<usize> = Vec::new();
+            for (di, &w) in destinations.iter().enumerate() {
+                if screening && self.can_skip(di, tp_value, &sep_point) {
+                    skipped_this_round.push(di);
+                    continue;
+                }
+                if self.separate_one(platform, di, w, &sep_point, tp_value, tol) {
+                    new_cuts += 1;
+                }
+            }
+            skipped_separations += skipped_this_round.len();
+            if new_cuts == 0 {
+                // Exact pass at the true master solution: the stabilized
+                // separation point and the screen are both heuristics;
+                // termination is only ever declared from an unscreened
+                // separation of the actual optimum.
+                for (di, &w) in destinations.iter().enumerate() {
+                    if self.separate_one(platform, di, w, &loads, tp_value, tol) {
                         new_cuts += 1;
                     }
                 }
@@ -509,6 +666,7 @@ impl CutGenSession {
                     },
                     binding_cuts,
                     reused_cuts,
+                    skipped_separations,
                 });
             }
             // Purge cuts whose slack stayed non-binding for `purge_after`
@@ -540,6 +698,13 @@ impl CutGenSession {
                         state.delete_rows(&purged_rows).map_err(CoreError::Lp)?;
                     }
                 }
+            }
+            if self.stab_center.len() == loads.len() {
+                for (c, &l) in self.stab_center.iter_mut().zip(&loads) {
+                    *c = 0.5 * (*c + l);
+                }
+            } else {
+                self.stab_center = loads.clone();
             }
             last_solution = self.solve_master(&mut simplex_iterations)?;
         }
@@ -594,7 +759,7 @@ mod tests {
         let platform = random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng);
         let o = solve(&platform, NodeId(0), 1.0e6).unwrap();
         for w in platform.nodes().filter(|&w| w != NodeId(0)) {
-            let flow = maxflow::max_flow(platform.graph(), NodeId(0), w, |e, _| {
+            let flow = bcast_net::maxflow::max_flow(platform.graph(), NodeId(0), w, |e, _| {
                 o.edge_load[e.index()]
             });
             assert!(

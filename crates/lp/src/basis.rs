@@ -1,0 +1,461 @@
+//! Product-form-of-inverse basis factorization with **eta files**.
+//!
+//! The revised simplex method never forms `B⁻¹` explicitly. Instead the
+//! inverse is kept as a product of *eta matrices* — elementary matrices that
+//! differ from the identity in a single column:
+//!
+//! ```text
+//!   B⁻¹ = E_k · E_{k-1} · … · E_1
+//! ```
+//!
+//! * **Refactorization** derives one eta per basic column by a sparse
+//!   Gauss–Jordan pass (partial pivoting over the not-yet-pivoted rows,
+//!   columns processed sparsest-first to limit fill-in). The result is exact
+//!   for the *current* basis, so a refactorization both compresses the file
+//!   and flushes accumulated floating-point drift.
+//! * **Update** appends one eta per simplex pivot (the FTRAN'd entering
+//!   column, pivoted at the leaving row) — O(nnz) per pivot instead of the
+//!   dense tableau's O(rows · cols) elimination.
+//! * **FTRAN** (`B⁻¹ a`, entering columns and right-hand sides) applies the
+//!   etas forward on a scattered sparse vector; **BTRAN** (`B⁻ᵀ y`, pricing
+//!   vectors and tableau rows) applies their transposes backward.
+//!
+//! The file grows by one eta per pivot, and both transforms get slower and
+//! drift further from `B⁻¹` as it grows; [`EtaBasis::should_refactorize`]
+//! triggers a periodic refactorization, and a refactorization that fails
+//! (numerically singular basis) tells the caller to fall back to a cold
+//! solve — the same "cold fallback is authoritative" contract as the dense
+//! engine.
+
+/// One eta matrix: identity except for column `pivot`, which holds the
+/// transformed entering column. Applying it to a vector `w`:
+///
+/// ```text
+///   t = w[pivot] / pivot_val
+///   w[i] -= nz_i · t   (i ≠ pivot)
+///   w[pivot] = t
+/// ```
+#[derive(Clone, Debug)]
+pub(crate) struct Eta {
+    /// The pivot row of this eta.
+    pivot: u32,
+    /// Value of the transformed column at the pivot row.
+    pivot_val: f64,
+    /// Off-pivot nonzeros `(row, value)` of the transformed column.
+    nz: Vec<(u32, f64)>,
+}
+
+/// A sparse vector scattered over a dense workspace: values plus an explicit
+/// support list, the standard sparse-kernel representation (gather/scatter).
+///
+/// The support list may contain indices whose value has cancelled to zero —
+/// iteration must tolerate (and may skip) them.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ScatterVec {
+    val: Vec<f64>,
+    mark: Vec<bool>,
+    support: Vec<u32>,
+}
+
+impl ScatterVec {
+    /// Grows the workspace to dimension `n` (values stay valid).
+    pub(crate) fn ensure_len(&mut self, n: usize) {
+        if self.val.len() < n {
+            self.val.resize(n, 0.0);
+            self.mark.resize(n, false);
+        }
+    }
+
+    /// Clears the support (O(support), not O(n)).
+    pub(crate) fn clear(&mut self) {
+        for &i in &self.support {
+            self.val[i as usize] = 0.0;
+            self.mark[i as usize] = false;
+        }
+        self.support.clear();
+    }
+
+    /// Adds `v` to entry `i`, extending the support when needed.
+    #[inline]
+    pub(crate) fn add(&mut self, i: u32, v: f64) {
+        let idx = i as usize;
+        if !self.mark[idx] {
+            self.mark[idx] = true;
+            self.support.push(i);
+        }
+        self.val[idx] += v;
+    }
+
+    /// Overwrites entry `i` with `v`.
+    #[inline]
+    pub(crate) fn set(&mut self, i: u32, v: f64) {
+        let idx = i as usize;
+        if !self.mark[idx] {
+            self.mark[idx] = true;
+            self.support.push(i);
+        }
+        self.val[idx] = v;
+    }
+
+    /// Value of entry `i` (0 outside the support).
+    #[inline]
+    pub(crate) fn get(&self, i: u32) -> f64 {
+        self.val[i as usize]
+    }
+
+    /// The (unsorted) support indices.
+    #[inline]
+    pub(crate) fn support(&self) -> &[u32] {
+        &self.support
+    }
+}
+
+/// The eta-file basis factorization of an `m × m` basis matrix.
+pub(crate) struct EtaBasis {
+    m: usize,
+    etas: Vec<Eta>,
+    /// Number of etas produced by the last refactorization (the rest are
+    /// per-pivot updates).
+    base_etas: usize,
+    /// Pivot updates appended since the last refactorization.
+    updates: usize,
+    /// Total in-place refactorizations performed (monitoring only; these are
+    /// basis-preserving and distinct from the incremental solver's *cold*
+    /// refactorization fallbacks).
+    pub(crate) refactor_count: usize,
+}
+
+/// Values below this are dropped when an eta is gathered: they are pure
+/// cancellation noise and only inflate the file.
+const ETA_DROP_TOL: f64 = 1e-13;
+
+impl EtaBasis {
+    /// An empty factorization of dimension 0 (refactorize before use).
+    pub(crate) fn new() -> Self {
+        EtaBasis {
+            m: 0,
+            etas: Vec::new(),
+            base_etas: 0,
+            updates: 0,
+            refactor_count: 0,
+        }
+    }
+
+    /// Number of pivot updates appended since the last refactorization.
+    pub(crate) fn updates_since_refactor(&self) -> usize {
+        self.updates
+    }
+
+    /// True when the eta file is due for a periodic refactorization.
+    pub(crate) fn should_refactorize(&self, interval: usize) -> bool {
+        self.updates >= interval.max(1)
+    }
+
+    /// Rebuilds the factorization for the basis whose `k`-th column is
+    /// `column(basis[k])`. On success the basis assignment is returned
+    /// *re-permuted*: `new_basis[r]` is the column pivoted on row `r` (the
+    /// partial-pivoting row choice is free, so positions move). Returns
+    /// `None` when the basis is numerically singular — the caller must fall
+    /// back to a cold solve.
+    ///
+    /// Columns are processed sparsest-first (ties by column id, so the pass
+    /// is deterministic), a cheap Markowitz-style ordering that keeps
+    /// fill-in low on the port/cut structure of the master LPs.
+    pub(crate) fn refactorize<'a>(
+        &mut self,
+        m: usize,
+        basis: &[usize],
+        mut column: impl FnMut(usize) -> &'a [(u32, f64)],
+        pivot_tol: f64,
+        work: &mut ScatterVec,
+    ) -> Option<Vec<usize>> {
+        debug_assert_eq!(basis.len(), m);
+        self.m = m;
+        self.etas.clear();
+        self.base_etas = 0;
+        self.updates = 0;
+        self.refactor_count += 1;
+        work.ensure_len(m);
+
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&k| (column(basis[k]).len(), basis[k]));
+
+        let mut placed = vec![false; m];
+        let mut new_basis = vec![usize::MAX; m];
+        for &k in &order {
+            let col = basis[k];
+            work.clear();
+            for &(r, v) in column(col) {
+                work.add(r, v);
+            }
+            self.ftran(work);
+            // Partial pivoting over the rows not yet claimed by an earlier
+            // column; ties broken by the smaller row index (determinism).
+            let mut col_max = 0.0f64;
+            let mut best: Option<(f64, u32)> = None;
+            for &r in work.support() {
+                let mag = work.get(r).abs();
+                col_max = col_max.max(mag);
+                if placed[r as usize] {
+                    continue;
+                }
+                if best.is_none_or(|(bm, br)| mag > bm || (mag == bm && r < br)) {
+                    best = Some((mag, r));
+                }
+            }
+            // Singularity is *relative*: a legitimately tiny-scaled column
+            // (port rows of soft-failed links sit ~1e-6 below their
+            // neighbours after equilibration) must factorize, while a column
+            // whose unplaced entries are pure cancellation noise relative to
+            // its own magnitude must not. The absolute floor catches the
+            // all-zero column.
+            let (best_mag, pivot_row) = best?;
+            let threshold = (pivot_tol * 1e-4 * col_max).max(1e-290);
+            if best_mag <= threshold {
+                return None;
+            }
+            self.push_eta(work, pivot_row);
+            placed[pivot_row as usize] = true;
+            new_basis[pivot_row as usize] = col;
+        }
+        self.base_etas = self.etas.len();
+        Some(new_basis)
+    }
+
+    /// Appends the pivot eta for an entering column whose FTRAN'd form is in
+    /// `alpha`, leaving at `pivot_row`. `alpha` must be the *current-basis*
+    /// representation (i.e. already FTRAN'd).
+    pub(crate) fn update(&mut self, alpha: &ScatterVec, pivot_row: u32) {
+        self.push_eta(alpha, pivot_row);
+        self.updates += 1;
+    }
+
+    fn push_eta(&mut self, v: &ScatterVec, pivot_row: u32) {
+        let pivot_val = v.get(pivot_row);
+        debug_assert!(pivot_val != 0.0, "eta pivot must be nonzero");
+        let mut nz = Vec::with_capacity(v.support().len().saturating_sub(1));
+        for &i in v.support() {
+            if i == pivot_row {
+                continue;
+            }
+            let value = v.get(i);
+            if value.abs() > ETA_DROP_TOL {
+                nz.push((i, value));
+            }
+        }
+        self.etas.push(Eta {
+            pivot: pivot_row,
+            pivot_val,
+            nz,
+        });
+    }
+
+    /// FTRAN: overwrites `w` with `B⁻¹ w` (sparse in, sparse out).
+    pub(crate) fn ftran(&self, w: &mut ScatterVec) {
+        for eta in &self.etas {
+            let wp = w.get(eta.pivot);
+            if wp == 0.0 {
+                continue;
+            }
+            let t = wp / eta.pivot_val;
+            w.set(eta.pivot, t);
+            for &(i, v) in &eta.nz {
+                w.add(i, -v * t);
+            }
+        }
+    }
+
+    /// BTRAN: overwrites `y` with `B⁻ᵀ y` (sparse in, sparse out).
+    pub(crate) fn btran(&self, y: &mut ScatterVec) {
+        for eta in self.etas.iter().rev() {
+            let mut s = y.get(eta.pivot);
+            for &(i, v) in &eta.nz {
+                s -= v * y.get(i);
+            }
+            y.set(eta.pivot, s / eta.pivot_val);
+        }
+    }
+
+    /// Dense BTRAN for vectors that are not usefully sparse (the pricing
+    /// vector `y = B⁻ᵀ c_B`).
+    pub(crate) fn btran_dense(&self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut s = y[eta.pivot as usize];
+            for &(i, v) in &eta.nz {
+                s -= v * y[i as usize];
+            }
+            y[eta.pivot as usize] = s / eta.pivot_val;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Factorizes the basis made of the given dense columns and checks
+    /// FTRAN/BTRAN against a directly computed inverse action.
+    fn check_roundtrip(cols: &[Vec<f64>]) {
+        let m = cols.len();
+        let sparse: Vec<Vec<(u32, f64)>> = cols
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v != 0.0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect()
+            })
+            .collect();
+        let mut basis = EtaBasis::new();
+        let mut work = ScatterVec::default();
+        let assignment = basis
+            .refactorize(
+                m,
+                &(0..m).collect::<Vec<_>>(),
+                |j| &sparse[j],
+                1e-10,
+                &mut work,
+            )
+            .expect("nonsingular");
+        // FTRAN of column `assignment[r]` must be e_r.
+        for (r, &col) in assignment.iter().enumerate() {
+            work.clear();
+            for &(i, v) in &sparse[col] {
+                work.add(i, v);
+            }
+            basis.ftran(&mut work);
+            for i in 0..m as u32 {
+                let expected = if i as usize == r { 1.0 } else { 0.0 };
+                assert!(
+                    (work.get(i) - expected).abs() < 1e-9,
+                    "ftran(col {col})[{i}] = {}, expected {expected}",
+                    work.get(i)
+                );
+            }
+        }
+        // BTRAN ∘ Bᵀ must be the identity: for each r, y = BTRAN(e_r) then
+        // y · B[:, assignment[s]] = δ_{rs}.
+        for r in 0..m as u32 {
+            work.clear();
+            work.add(r, 1.0);
+            basis.btran(&mut work);
+            for (s, &col) in assignment.iter().enumerate() {
+                let dot: f64 = sparse[col].iter().map(|&(i, v)| v * work.get(i)).sum();
+                let expected = if s == r as usize { 1.0 } else { 0.0 };
+                assert!(
+                    (dot - expected).abs() < 1e-9,
+                    "btran(e_{r}) · col {col} = {dot}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_and_permutation_bases_roundtrip() {
+        check_roundtrip(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        check_roundtrip(&[
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+            vec![3.0, 0.0, 0.0],
+        ]);
+    }
+
+    #[test]
+    fn dense_random_basis_roundtrips() {
+        let mut state = 0x1234u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let m = 7;
+        let cols: Vec<Vec<f64>> = (0..m)
+            .map(|k| {
+                (0..m)
+                    .map(|i| if i == k { 2.0 + next() } else { next() })
+                    .collect()
+            })
+            .collect();
+        check_roundtrip(&cols);
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let cols = [vec![1.0, 2.0], vec![2.0, 4.0]]; // rank 1
+        let sparse: Vec<Vec<(u32, f64)>> = cols
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect())
+            .collect();
+        let mut basis = EtaBasis::new();
+        let mut work = ScatterVec::default();
+        assert!(basis
+            .refactorize(2, &[0, 1], |j| &sparse[j], 1e-10, &mut work)
+            .is_none());
+    }
+
+    #[test]
+    fn updates_track_a_changing_basis() {
+        // Start from the identity basis of a 3x3 system, then pivot in a new
+        // column and check FTRAN maps it to the pivot unit vector.
+        let id: Vec<Vec<(u32, f64)>> = (0..3).map(|i| vec![(i as u32, 1.0)]).collect();
+        let entering: Vec<(u32, f64)> = vec![(0, 1.0), (1, 2.0), (2, 4.0)];
+        let mut basis = EtaBasis::new();
+        let mut work = ScatterVec::default();
+        basis
+            .refactorize(3, &[0, 1, 2], |j| &id[j], 1e-10, &mut work)
+            .unwrap();
+        // FTRAN the entering column (identity basis: unchanged), pivot row 1.
+        work.clear();
+        for &(i, v) in &entering {
+            work.add(i, v);
+        }
+        basis.ftran(&mut work);
+        basis.update(&work, 1);
+        assert_eq!(basis.updates_since_refactor(), 1);
+        // Now FTRAN of the entering column must be e_1.
+        work.clear();
+        for &(i, v) in &entering {
+            work.add(i, v);
+        }
+        basis.ftran(&mut work);
+        assert!((work.get(0) - 0.0).abs() < 1e-12);
+        assert!((work.get(1) - 1.0).abs() < 1e-12);
+        assert!((work.get(2) - 0.0).abs() < 1e-12);
+        // And the old basis columns map to e_0 / e_2 still.
+        work.clear();
+        work.add(0, 1.0);
+        basis.ftran(&mut work);
+        assert!((work.get(0) - 1.0).abs() < 1e-12);
+        assert!(work.get(1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactorization_interval_is_honoured() {
+        let mut basis = EtaBasis::new();
+        let mut work = ScatterVec::default();
+        let id: Vec<Vec<(u32, f64)>> = (0..2).map(|i| vec![(i as u32, 1.0)]).collect();
+        basis
+            .refactorize(2, &[0, 1], |j| &id[j], 1e-10, &mut work)
+            .unwrap();
+        assert!(!basis.should_refactorize(2));
+        for pivot in [0u32, 1, 0] {
+            work.clear();
+            work.add(pivot, 1.0);
+            basis.update(&work, pivot);
+        }
+        assert!(basis.should_refactorize(2));
+        assert!(basis.should_refactorize(1));
+        assert!(!basis.should_refactorize(64));
+        // An interval of 0 behaves like 1 (refactorize after every pivot).
+        basis
+            .refactorize(2, &[0, 1], |j| &id[j], 1e-10, &mut work)
+            .unwrap();
+        assert!(!basis.should_refactorize(0));
+        work.clear();
+        work.add(0, 1.0);
+        basis.update(&work, 0);
+        assert!(basis.should_refactorize(0));
+    }
+}

@@ -44,7 +44,8 @@
 //! [`SimplexState::base_rows`]).
 
 use crate::model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
-use crate::simplex::{self, SimplexOptions, SolveStatus, Tableau};
+use crate::simplex::{self, SimplexEngine, SimplexOptions, SolveStatus, Tableau};
+use crate::sparse::{self, SparseSimplex};
 
 /// Stable handle of a row added to (or created with) a [`SimplexState`].
 ///
@@ -121,9 +122,9 @@ impl RowUpdate {
     }
 }
 
-/// The live tableau plus the bookkeeping that ties physical rows to their
-/// auxiliary columns.
-struct Factorization {
+/// The live dense tableau plus the bookkeeping that ties physical rows to
+/// their auxiliary columns ([`SimplexEngine::Dense`]).
+struct DenseFact {
     tab: Tableau,
     /// Maximization-form cost per column (structural costs + zeros).
     cost: Vec<f64>,
@@ -134,6 +135,32 @@ struct Factorization {
     /// True when rows were appended since the last optimization (the basis
     /// may be primal infeasible and needs a dual-simplex pass).
     stale: bool,
+}
+
+/// The live sparse revised-simplex state plus the physical-row bookkeeping
+/// ([`SimplexEngine::Sparse`], the default).
+struct SparseFact {
+    sim: SparseSimplex,
+    /// Maximization-form cost per column (structural costs + zeros).
+    cost: Vec<f64>,
+    /// Per *physical* row: its slack/surplus column, if any.
+    slack_col: Vec<Option<usize>>,
+    /// Per *physical* row: its artificial column, if any.
+    art_col: Vec<Option<usize>>,
+    /// Per *physical* row: its current assembled-row index (shifts down as
+    /// earlier rows are deleted; `None` once deleted).
+    row_of: Vec<Option<usize>>,
+    /// True when rows were appended or updated since the last optimization.
+    stale: bool,
+}
+
+/// The engine-specific live factorization of a [`SimplexState`]. Both
+/// variants honour the same contract: append keeps the basis dual feasible,
+/// non-binding deletion is exact and free, and anything inexpressible falls
+/// back to an authoritative cold solve.
+enum Fact {
+    Dense(DenseFact),
+    Sparse(Box<SparseFact>),
 }
 
 /// A linear program whose optimal basis persists across row additions and
@@ -182,7 +209,7 @@ pub struct SimplexState {
     /// structural variable) optimized over the primary-optimal face after
     /// every warm re-solve; see [`set_secondary_objective`](Self::set_secondary_objective).
     secondary: Option<Vec<f64>>,
-    fact: Option<Factorization>,
+    fact: Option<Fact>,
     stats: IncrementalStats,
 }
 
@@ -339,15 +366,23 @@ impl SimplexState {
             ids.push(self.push_group(physical, con.op));
         }
         let count = self.rows.len() - first_physical;
-        if let Some(fact) = self.fact.as_mut() {
-            // One re-stride for the whole batch: every new physical row gets
-            // the next slack column in order.
-            let first_slack = fact.tab.cols;
-            grow_columns(&mut fact.tab, count);
-            fact.cost.resize(fact.tab.cols, 0.0);
-            for (i, p) in (first_physical..first_physical + count).enumerate() {
-                self.append_to_tableau(p, first_slack + i);
+        match self.fact.as_mut() {
+            Some(Fact::Dense(fact)) => {
+                // One re-stride for the whole batch: every new physical row
+                // gets the next slack column in order.
+                let first_slack = fact.tab.cols;
+                grow_columns(&mut fact.tab, count);
+                fact.cost.resize(fact.tab.cols, 0.0);
+                for (i, p) in (first_physical..first_physical + count).enumerate() {
+                    self.append_to_tableau(p, first_slack + i);
+                }
             }
+            Some(Fact::Sparse(_)) => {
+                for p in first_physical..first_physical + count {
+                    self.append_to_sparse(p);
+                }
+            }
+            None => {}
         }
         Ok(ids)
     }
@@ -372,8 +407,14 @@ impl SimplexState {
                 }
                 self.live[p] = false;
                 self.stats.rows_deleted += 1;
-                if let Some(fact) = self.fact.as_mut() {
-                    needs_refactor |= !remove_physical_row(fact, p);
+                match self.fact.as_mut() {
+                    Some(Fact::Dense(fact)) => {
+                        needs_refactor |= !remove_physical_row(fact, p);
+                    }
+                    Some(Fact::Sparse(fact)) => {
+                        needs_refactor |= !remove_physical_row_sparse(fact, p);
+                    }
+                    None => {}
                 }
             }
         }
@@ -432,19 +473,34 @@ impl SimplexState {
                 self.stats.rows_updated += 1;
             }
         }
-        if let Some(fact) = self.fact.as_mut() {
-            if rebuild_in_basis(
-                fact,
-                &self.rows,
-                &self.live,
-                self.objective.len(),
-                &self.options,
-            ) {
-                fact.stale = true;
-            } else {
-                self.fact = None;
-                self.stats.refactorizations += 1;
+        match self.fact.as_mut() {
+            Some(Fact::Dense(fact)) => {
+                if rebuild_in_basis(
+                    fact,
+                    &self.rows,
+                    &self.live,
+                    self.objective.len(),
+                    &self.options,
+                ) {
+                    fact.stale = true;
+                } else {
+                    self.fact = None;
+                    self.stats.refactorizations += 1;
+                }
             }
+            Some(Fact::Sparse(fact)) => {
+                let touched: Vec<usize> = updates
+                    .iter()
+                    .flat_map(|u| self.groups[u.row.0].clone())
+                    .collect();
+                if rewrite_rows_sparse(fact, &self.rows, &touched, &self.options) {
+                    fact.stale = true;
+                } else {
+                    self.fact = None;
+                    self.stats.refactorizations += 1;
+                }
+            }
+            None => {}
         }
         Ok(())
     }
@@ -471,8 +527,12 @@ impl SimplexState {
                 Sense::Maximize => 1.0,
                 Sense::Minimize => -1.0,
             };
+            let cost = match fact {
+                Fact::Dense(f) => &mut f.cost,
+                Fact::Sparse(f) => &mut f.cost,
+            };
             for (j, &c) in coefficients.iter().enumerate() {
-                fact.cost[j] = sign * c;
+                cost[j] = sign * c;
             }
         }
         Ok(())
@@ -500,57 +560,132 @@ impl SimplexState {
             return self.cold_solve();
         }
         let options = self.options;
-        let fact = self.fact.as_mut().expect("factorization alive");
-        // Deliberately far below the cold solver's budget: a warm re-solve
-        // normally needs a handful of pivots, and a warm pass that does not
-        // converge quickly is numerically suspect — better to refactorize
-        // than to chase a drifting basis.
-        let budget = (4 * (fact.tab.rows + fact.tab.cols)).max(200);
         let mut pivots = 0usize;
+        let mut dual_pivots = 0usize;
         let mut clean = true;
-        if fact.stale {
-            // Classify the start basis. Pure row appends leave the old
-            // reduced costs untouched — dual feasible — and are repaired by
-            // the dual simplex as before. A coefficient update can break
-            // dual feasibility: if the basis at least stayed primal
-            // feasible, the primal pass below re-optimizes directly; if it
-            // lost both, a dual phase with a zero objective (for which any
-            // basis prices out) restores primal feasibility first.
-            let d = simplex::reduced_costs(&fact.tab, &fact.cost);
-            let dual_feasible = d
-                .iter()
-                .zip(&fact.tab.allowed)
-                .all(|(&dj, &ok)| !ok || dj <= options.cost_tolerance);
-            if dual_feasible {
-                let (status, iters) =
-                    simplex::dual_simplex(&mut fact.tab, &fact.cost, &options, budget, Some(d));
-                pivots += iters;
-                self.stats.dual_pivots += iters;
-                clean = status == SolveStatus::Optimal;
-            } else if fact
-                .tab
-                .b
-                .iter()
-                .any(|&bi| bi < -options.feasibility_tolerance)
-            {
-                let zero = vec![0.0; fact.tab.cols];
-                let (status, iters) =
-                    simplex::dual_simplex(&mut fact.tab, &zero, &options, budget, None);
-                pivots += iters;
-                self.stats.dual_pivots += iters;
-                clean = status == SolveStatus::Optimal;
+        match self.fact.as_mut().expect("factorization alive") {
+            Fact::Dense(fact) => {
+                // Deliberately far below the cold solver's budget: a warm
+                // re-solve normally needs a handful of pivots, and a warm
+                // pass that does not converge quickly is numerically suspect
+                // — better to refactorize than to chase a drifting basis.
+                let budget = (4 * (fact.tab.rows + fact.tab.cols)).max(200);
+                if fact.stale {
+                    // Classify the start basis. Pure row appends leave the
+                    // old reduced costs untouched — dual feasible — and are
+                    // repaired by the dual simplex as before. A coefficient
+                    // update can break dual feasibility: if the basis at
+                    // least stayed primal feasible, the primal pass below
+                    // re-optimizes directly; if it lost both, a dual phase
+                    // with a zero objective (for which any basis prices out)
+                    // restores primal feasibility first.
+                    let d = simplex::reduced_costs(&fact.tab, &fact.cost);
+                    let dual_feasible = d
+                        .iter()
+                        .zip(&fact.tab.allowed)
+                        .all(|(&dj, &ok)| !ok || dj <= options.cost_tolerance);
+                    if dual_feasible {
+                        let (status, iters) = simplex::dual_simplex(
+                            &mut fact.tab,
+                            &fact.cost,
+                            &options,
+                            budget,
+                            Some(d),
+                        );
+                        pivots += iters;
+                        dual_pivots += iters;
+                        clean = status == SolveStatus::Optimal;
+                    } else if fact
+                        .tab
+                        .b
+                        .iter()
+                        .any(|&bi| bi < -options.feasibility_tolerance)
+                    {
+                        let zero = vec![0.0; fact.tab.cols];
+                        let (status, iters) =
+                            simplex::dual_simplex(&mut fact.tab, &zero, &options, budget, None);
+                        pivots += iters;
+                        dual_pivots += iters;
+                        clean = status == SolveStatus::Optimal;
+                    }
+                }
+                if clean {
+                    // Primal cleanup: after a clean dual pass (or a pure
+                    // deletion) the basis is already optimal and this prices
+                    // out in zero pivots; it guards the rare case where
+                    // floating-point drift left a column with a marginally
+                    // positive reduced cost.
+                    let remaining = budget.saturating_sub(pivots).max(100);
+                    let (status, iters) =
+                        simplex::optimize(&mut fact.tab, &fact.cost, &options, remaining);
+                    pivots += iters;
+                    clean = status == SolveStatus::Optimal;
+                }
+            }
+            Fact::Sparse(fact) => {
+                // Same classification and budget policy, on the revised
+                // engine: refactorize the (possibly grown/edited) basis,
+                // read the reduced costs, pick the repair pass.
+                let budget = (4 * (fact.sim.prob.m + fact.sim.prob.ncols)).max(200);
+                // `primary_fresh`: the factorization is live and the
+                // reduced costs match `fact.cost`, so the next pass may
+                // skip its entry refresh (each refresh is a full
+                // refactorization — the dominant cost of a zero-pivot warm
+                // re-solve).
+                let mut primary_fresh = false;
+                if fact.stale {
+                    if fact.sim.factorize(&options) {
+                        fact.sim.compute_reduced_costs(&fact.cost);
+                        primary_fresh = true;
+                        let dual_feasible = fact
+                            .sim
+                            .reduced_costs()
+                            .iter()
+                            .zip(&fact.sim.prob.allowed)
+                            .all(|(&dj, &ok)| !ok || dj <= options.cost_tolerance);
+                        if dual_feasible {
+                            let (status, iters) = fact.sim.dual(&fact.cost, &options, budget, true);
+                            pivots += iters;
+                            dual_pivots += iters;
+                            clean = status == SolveStatus::Optimal;
+                        } else if fact
+                            .sim
+                            .x_b
+                            .iter()
+                            .any(|&bi| bi < -options.feasibility_tolerance)
+                        {
+                            let zero = vec![0.0; fact.sim.prob.ncols];
+                            // The factorization from the classification
+                            // above is still live — only the reduced costs
+                            // must be redone for the zero objective (one
+                            // BTRAN + column pass, far below another full
+                            // refactorization).
+                            fact.sim.compute_reduced_costs(&zero);
+                            let (status, iters) = fact.sim.dual(&zero, &options, budget, true);
+                            pivots += iters;
+                            dual_pivots += iters;
+                            clean = status == SolveStatus::Optimal;
+                            // `d` now belongs to the zero cost; the primal
+                            // pass below must refresh for the real one.
+                            primary_fresh = false;
+                        }
+                    } else {
+                        // Singular under the edited coefficients: only a
+                        // cold solve can answer.
+                        clean = false;
+                    }
+                }
+                if clean {
+                    let remaining = budget.saturating_sub(pivots).max(100);
+                    let (status, iters) =
+                        fact.sim
+                            .primal(&fact.cost, &options, remaining, primary_fresh);
+                    pivots += iters;
+                    clean = status == SolveStatus::Optimal;
+                }
             }
         }
-        if clean {
-            // Primal cleanup: after a clean dual pass (or a pure deletion)
-            // the basis is already optimal and this prices out in zero
-            // pivots; it guards the rare case where floating-point drift
-            // left a column with a marginally positive reduced cost.
-            let remaining = budget.saturating_sub(pivots).max(100);
-            let (status, iters) = simplex::optimize(&mut fact.tab, &fact.cost, &options, remaining);
-            pivots += iters;
-            clean = status == SolveStatus::Optimal;
-        }
+        self.stats.dual_pivots += dual_pivots;
         if !clean {
             self.stats.total_pivots += pivots;
             // Stall, apparent infeasibility, or a soured basis: discard the
@@ -567,8 +702,10 @@ impl SimplexState {
         }
         pivots += self.push_secondary();
         self.stats.total_pivots += pivots;
-        let fact = self.fact.as_mut().expect("factorization alive");
-        fact.stale = false;
+        match self.fact.as_mut().expect("factorization alive") {
+            Fact::Dense(fact) => fact.stale = false,
+            Fact::Sparse(fact) => fact.stale = false,
+        }
         self.stats.warm_solves += 1;
         Ok(self.extract(pivots))
     }
@@ -625,42 +762,79 @@ impl SimplexState {
             .iter()
             .map(|&p| self.rows[p].as_constraint())
             .collect();
-        let asm = simplex::assemble(n, &constraints);
-        let mut cost = vec![0.0; asm.tab.cols];
         let sign = match self.sense {
             Sense::Maximize => 1.0,
             Sense::Minimize => -1.0,
         };
-        for (j, &c) in self.objective.iter().enumerate() {
-            cost[j] = sign * c;
-        }
-        // Scatter the per-assembled-row column map back onto physical rows.
-        let mut slack_col = vec![None; self.rows.len()];
-        let mut art_col = vec![None; self.rows.len()];
-        for (i, &p) in live_physical.iter().enumerate() {
-            slack_col[p] = asm.slack_col[i];
-            art_col[p] = asm.art_col[i];
-        }
-        let mut fact = Factorization {
-            tab: asm.tab,
-            cost,
-            slack_col,
-            art_col,
-            stale: false,
-        };
-        let pivots = match simplex::two_phase(
-            &mut fact.tab,
-            &asm.artificial_cols,
-            &fact.cost,
-            &self.options,
-        ) {
-            Ok(pivots) => pivots,
-            Err(e) => {
-                self.fact = None;
-                return Err(e);
+        let pivots = match self.options.engine {
+            SimplexEngine::Dense => {
+                let asm = simplex::assemble(n, &constraints);
+                let mut cost = vec![0.0; asm.tab.cols];
+                for (j, &c) in self.objective.iter().enumerate() {
+                    cost[j] = sign * c;
+                }
+                // Scatter the per-assembled-row column map onto physical rows.
+                let mut slack_col = vec![None; self.rows.len()];
+                let mut art_col = vec![None; self.rows.len()];
+                for (i, &p) in live_physical.iter().enumerate() {
+                    slack_col[p] = asm.slack_col[i];
+                    art_col[p] = asm.art_col[i];
+                }
+                let mut fact = DenseFact {
+                    tab: asm.tab,
+                    cost,
+                    slack_col,
+                    art_col,
+                    stale: false,
+                };
+                let pivots = match simplex::two_phase(
+                    &mut fact.tab,
+                    &asm.artificial_cols,
+                    &fact.cost,
+                    &self.options,
+                ) {
+                    Ok(pivots) => pivots,
+                    Err(e) => {
+                        self.fact = None;
+                        return Err(e);
+                    }
+                };
+                self.fact = Some(Fact::Dense(fact));
+                pivots
+            }
+            SimplexEngine::Sparse => {
+                let prob = sparse::assemble_sparse(n, &constraints);
+                let mut cost = vec![0.0; prob.ncols];
+                for (j, &c) in self.objective.iter().enumerate() {
+                    cost[j] = sign * c;
+                }
+                let mut slack_col = vec![None; self.rows.len()];
+                let mut art_col = vec![None; self.rows.len()];
+                let mut row_of = vec![None; self.rows.len()];
+                for (i, &p) in live_physical.iter().enumerate() {
+                    slack_col[p] = prob.slack_col[i];
+                    art_col[p] = prob.art_col[i];
+                    row_of[p] = Some(i);
+                }
+                let mut fact = SparseFact {
+                    sim: SparseSimplex::new(prob),
+                    cost,
+                    slack_col,
+                    art_col,
+                    row_of,
+                    stale: false,
+                };
+                let pivots = match fact.sim.two_phase(&fact.cost, &self.options) {
+                    Ok(pivots) => pivots,
+                    Err(e) => {
+                        self.fact = None;
+                        return Err(e);
+                    }
+                };
+                self.fact = Some(Fact::Sparse(Box::new(fact)));
+                pivots
             }
         };
-        self.fact = Some(fact);
         let pivots = pivots + self.push_secondary();
         self.stats.cold_solves += 1;
         self.stats.total_pivots += pivots;
@@ -673,7 +847,9 @@ impl SimplexState {
     /// side may come out negative — that is the dual simplex's cue.
     fn append_to_tableau(&mut self, p: usize, slack: usize) {
         let n = self.num_vars();
-        let fact = self.fact.as_mut().expect("factorization alive");
+        let Some(Fact::Dense(fact)) = self.fact.as_mut() else {
+            unreachable!("dense factorization alive");
+        };
         fact.slack_col.resize(self.rows.len(), None);
         fact.art_col.resize(self.rows.len(), None);
         let tab = &mut fact.tab;
@@ -710,6 +886,31 @@ impl SimplexState {
         fact.stale = true;
     }
 
+    /// Sparse analogue of [`append_to_tableau`](Self::append_to_tableau):
+    /// appends stored row `p` (always `≤` form) to the live sparse problem
+    /// with a fresh basic slack. The revised engine needs no per-row
+    /// elimination pass — the next factorization absorbs the new row in one
+    /// sparse Gauss–Jordan sweep while the basis (old columns + new slacks)
+    /// is carried over verbatim, so dual feasibility is preserved exactly
+    /// as in the dense path.
+    fn append_to_sparse(&mut self, p: usize) {
+        let row = &self.rows[p];
+        let (terms, rhs) = (row.terms.clone(), row.rhs);
+        let Some(Fact::Sparse(fact)) = self.fact.as_mut() else {
+            unreachable!("sparse factorization alive");
+        };
+        fact.slack_col.resize(self.rows.len(), None);
+        fact.art_col.resize(self.rows.len(), None);
+        fact.row_of.resize(self.rows.len(), None);
+        let row_index = fact.sim.prob.m;
+        let slack = fact.sim.append_le_row(&terms, rhs);
+        fact.cost.push(0.0);
+        fact.slack_col[p] = Some(slack);
+        fact.art_col[p] = None;
+        fact.row_of[p] = Some(row_index);
+        fact.stale = true;
+    }
+
     /// Optimizes the secondary objective over the primary-optimal face:
     /// columns with a strictly negative primary reduced cost are barred, so
     /// every pivot exchanges degenerate-optimal vertices and the primary
@@ -721,29 +922,54 @@ impl SimplexState {
             return 0;
         };
         let options = self.options;
-        let fact = self.fact.as_mut().expect("factorization alive");
-        let tab = &mut fact.tab;
-        let d = simplex::reduced_costs(tab, &fact.cost);
-        let mut barred: Vec<usize> = Vec::new();
-        for (j, &dj) in d.iter().enumerate() {
-            if tab.allowed[j] && dj < -options.cost_tolerance {
-                tab.allowed[j] = false;
-                barred.push(j);
+        match self.fact.as_mut().expect("factorization alive") {
+            Fact::Dense(fact) => {
+                let tab = &mut fact.tab;
+                let d = simplex::reduced_costs(tab, &fact.cost);
+                let mut barred: Vec<usize> = Vec::new();
+                for (j, &dj) in d.iter().enumerate() {
+                    if tab.allowed[j] && dj < -options.cost_tolerance {
+                        tab.allowed[j] = false;
+                        barred.push(j);
+                    }
+                }
+                let mut cost2 = vec![0.0; tab.cols];
+                cost2[..secondary.len()].copy_from_slice(secondary);
+                let budget = (4 * (tab.rows + tab.cols)).max(200);
+                let (_, iterations) = simplex::optimize(tab, &cost2, &options, budget);
+                for j in barred {
+                    tab.allowed[j] = true;
+                }
+                iterations
+            }
+            Fact::Sparse(fact) => {
+                fact.sim.compute_reduced_costs(&fact.cost);
+                let mut barred: Vec<usize> = Vec::new();
+                for j in 0..fact.sim.prob.ncols {
+                    if fact.sim.prob.allowed[j]
+                        && fact.sim.reduced_costs()[j] < -options.cost_tolerance
+                    {
+                        fact.sim.prob.allowed[j] = false;
+                        barred.push(j);
+                    }
+                }
+                let mut cost2 = vec![0.0; fact.sim.prob.ncols];
+                cost2[..secondary.len()].copy_from_slice(secondary);
+                let budget = (4 * (fact.sim.prob.m + fact.sim.prob.ncols)).max(200);
+                let (_, iterations) = fact.sim.primal(&cost2, &options, budget, false);
+                for j in barred {
+                    fact.sim.prob.allowed[j] = true;
+                }
+                iterations
             }
         }
-        let mut cost2 = vec![0.0; tab.cols];
-        cost2[..secondary.len()].copy_from_slice(secondary);
-        let budget = (4 * (tab.rows + tab.cols)).max(200);
-        let (_, iterations) = simplex::optimize(tab, &cost2, &options, budget);
-        for j in barred {
-            tab.allowed[j] = true;
-        }
-        iterations
     }
 
     fn extract(&self, pivots: usize) -> LpSolution {
-        let fact = self.fact.as_ref().expect("factorization alive");
-        let values = simplex::extract_values(&fact.tab, self.num_vars());
+        let values = match self.fact.as_ref().expect("factorization alive") {
+            Fact::Dense(fact) => simplex::extract_values(&fact.tab, self.num_vars()),
+            Fact::Sparse(fact) => fact.sim.extract_values(self.num_vars()),
+        };
         let objective = self.objective.iter().zip(&values).map(|(c, x)| c * x).sum();
         LpSolution {
             objective,
@@ -826,7 +1052,7 @@ fn regenerate_stored_rows(
 /// numerically singular under the new coefficients — in which case the
 /// caller must refactorize cold.
 fn rebuild_in_basis(
-    fact: &mut Factorization,
+    fact: &mut DenseFact,
     rows: &[StoredRow],
     live: &[bool],
     n: usize,
@@ -901,7 +1127,7 @@ fn rebuild_in_basis(
 /// Tries to remove physical row `p` from the live tableau without breaking
 /// the basis. Returns `false` when only a cold refactorization can express
 /// the deletion (binding row, or a row still carrying a basic artificial).
-fn remove_physical_row(fact: &mut Factorization, p: usize) -> bool {
+fn remove_physical_row(fact: &mut DenseFact, p: usize) -> bool {
     // A lingering basic artificial (degenerate redundant row) pins the
     // basis in a way plain row removal cannot untangle.
     if let Some(art) = fact.art_col[p] {
@@ -943,6 +1169,85 @@ fn bar_column(tab: &mut Tableau, col: usize) {
     for r in 0..tab.rows {
         tab.a[r * tab.cols + col] = 0.0;
     }
+}
+
+/// Sparse analogue of [`remove_physical_row`]: the same non-binding test
+/// (the row's slack must be basic; a basic artificial pins the basis), but
+/// the removal itself drops the constraint row and slack column from the
+/// sparse store — the remaining basic values are provably unchanged (the
+/// slack column is a unit vector), so the deletion stays free.
+fn remove_physical_row_sparse(fact: &mut SparseFact, p: usize) -> bool {
+    if let Some(art) = fact.art_col[p] {
+        if fact.sim.prob.basis.contains(&art) {
+            return false;
+        }
+        fact.sim.bar_column(art);
+    }
+    let Some(slack) = fact.slack_col[p] else {
+        return false;
+    };
+    let Some(row) = fact.row_of[p] else {
+        return false;
+    };
+    if !fact.sim.remove_row(row, slack) {
+        // Slack nonbasic: the row is binding, deletion moves the optimum.
+        return false;
+    }
+    for r in fact.row_of.iter_mut().flatten() {
+        if *r > row {
+            *r -= 1;
+        }
+    }
+    fact.row_of[p] = None;
+    fact.slack_col[p] = None;
+    fact.art_col[p] = None;
+    true
+}
+
+/// Sparse analogue of [`rebuild_in_basis`] for in-place coefficient edits:
+/// only the `touched` physical rows are rewritten (the revised engine keeps
+/// the rest verbatim), each must still be a plain slack-form row in the
+/// orientation it was assembled with — the same acceptance rule as the
+/// dense path, see the match below — and the batch ends with a same-basis
+/// refactorization. Returns `false` when the edit cannot be expressed
+/// in-place (changed row shape, or the old basis gone singular under the
+/// new coefficients), in which case the caller refactorizes cold.
+fn rewrite_rows_sparse(
+    fact: &mut SparseFact,
+    rows: &[StoredRow],
+    touched: &[usize],
+    options: &SimplexOptions,
+) -> bool {
+    for &p in touched {
+        if fact.slack_col[p].is_none() || fact.art_col[p].is_some() || fact.row_of[p].is_none() {
+            return false;
+        }
+        // Same orientation rule as the dense rebuild: appended rows (always
+        // stored `≤`) and `≤`-assembled base rows sit verbatim, a base `≥`
+        // row with `rhs ≤ 0` was assembled sign-flipped (the
+        // artificial-free rewrite); any other shape would carry an
+        // artificial under cold assembly — refuse rather than guess.
+        match rows[p].op {
+            ConstraintOp::Le => {}
+            ConstraintOp::Ge if rows[p].rhs <= 0.0 => {}
+            _ => return false,
+        }
+    }
+    for &p in touched {
+        let sign = match rows[p].op {
+            ConstraintOp::Le => 1.0,
+            ConstraintOp::Ge => -1.0,
+            ConstraintOp::Eq => unreachable!("rejected above"),
+        };
+        fact.sim.rewrite_row(
+            fact.row_of[p].expect("checked above"),
+            &rows[p].terms,
+            sign,
+            rows[p].rhs,
+            fact.slack_col[p].expect("checked above"),
+        );
+    }
+    fact.sim.refactor_same_basis(options)
 }
 
 #[cfg(test)]

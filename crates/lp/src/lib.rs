@@ -3,20 +3,27 @@
 //! The paper computes the optimal broadcast throughput of the
 //! Multiple-Tree-Pipelined (MTP) problem by solving a linear program with
 //! Maple or MuPAD. This crate replaces those external tools with a
-//! from-scratch dense **two-phase primal simplex** solver:
+//! from-scratch two-phase simplex solver in two interchangeable engines:
 //!
 //! * [`LpProblem`] — a model builder: named non-negative variables, linear
 //!   constraints (`≤`, `≥`, `=`), a linear objective to maximise or minimise.
-//! * [`solve`] / [`LpProblem::solve`] — two-phase simplex with a Dantzig
-//!   pricing rule and a Bland anti-cycling fallback.
+//! * [`solve`] / [`LpProblem::solve`] — two-phase simplex. The default
+//!   engine ([`SimplexEngine::Sparse`]) is a **sparse revised simplex**:
+//!   column-wise constraint storage, a product-form-of-inverse basis (eta
+//!   files with periodic refactorization), sparse FTRAN/BTRAN kernels, and
+//!   [`PricingRule::Devex`] pricing for both the primal and the dual
+//!   method. The dense full-tableau engine ([`SimplexEngine::Dense`],
+//!   [`solve_dense`]) is kept as the differential oracle and ablation
+//!   baseline.
 //! * [`SimplexState`] — an *incremental* solver: the optimal basis persists
-//!   across appended and deleted rows and is re-optimized by warm-started
-//!   dual simplex (the cut-generation master LP is the intended customer).
+//!   across appended, deleted, and coefficient-updated rows and is
+//!   re-optimized by warm-started dual simplex (the cut-generation master
+//!   LP is the intended customer). Runs on either engine.
 //! * [`LpSolution`] — objective value and per-variable values.
 //!
-//! The solver is exact enough for the moderately sized LPs of this
-//! reproduction (hundreds to a few thousands of rows); it is not intended to
-//! compete with industrial LP codes.
+//! The solver is exact enough for the LPs of this reproduction (hundreds of
+//! variables, thousands of rows at the 200-node platform scale); it is not
+//! intended to compete with industrial LP codes.
 //!
 //! ```
 //! use bcast_lp::{LpProblem, Sense};
@@ -35,13 +42,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis;
 pub mod incremental;
 pub mod model;
 pub mod simplex;
+pub(crate) mod sparse;
 
 pub use incremental::{IncrementalStats, RowId, RowUpdate, SimplexState};
 pub use model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
-pub use simplex::{solve, SimplexOptions, SolveStatus};
+pub use simplex::{solve, solve_dense, PricingRule, SimplexEngine, SimplexOptions, SolveStatus};
 
 #[cfg(test)]
 mod tests_prop;

@@ -32,6 +32,30 @@ pub enum SolveStatus {
     IterationLimit,
 }
 
+/// Which engine executes the simplex method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimplexEngine {
+    /// The sparse revised simplex with an eta-file basis (the default):
+    /// per-pivot work proportional to the nonzeros involved.
+    Sparse,
+    /// The dense full-tableau engine: every pivot touches all
+    /// `rows × cols` entries. Kept as the differential oracle for the
+    /// sparse engine and for ablation.
+    Dense,
+}
+
+/// Pricing rule of the sparse revised-simplex engine (the dense engine
+/// always prices with Dantzig's rule; both fall back to Bland's rule after
+/// a degenerate run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PricingRule {
+    /// Devex reference weights (the default): approximate steepest edge at
+    /// a fraction of the cost, decisive on the dual-degenerate cut masters.
+    Devex,
+    /// Most-negative reduced cost / most-infeasible row.
+    Dantzig,
+}
+
 /// Tunable parameters of the simplex solver.
 #[derive(Clone, Copy, Debug)]
 pub struct SimplexOptions {
@@ -48,6 +72,14 @@ pub struct SimplexOptions {
     /// Number of consecutive degenerate pivots after which pricing switches
     /// from Dantzig's rule to Bland's rule.
     pub bland_threshold: usize,
+    /// Which engine runs the pivots (sparse revised simplex by default).
+    pub engine: SimplexEngine,
+    /// Pricing rule of the sparse engine (ignored by the dense engine).
+    pub pricing: PricingRule,
+    /// Eta-file length at which the sparse engine refactorizes its basis
+    /// (sparse engine only). Small values trade speed for numerical
+    /// freshness; `0` refactorizes after every pivot.
+    pub refactor_interval: usize,
 }
 
 impl Default for SimplexOptions {
@@ -58,6 +90,9 @@ impl Default for SimplexOptions {
             feasibility_tolerance: 1e-7,
             max_iterations: 0,
             bland_threshold: 64,
+            engine: SimplexEngine::Sparse,
+            pricing: PricingRule::Devex,
+            refactor_interval: 64,
         }
     }
 }
@@ -102,24 +137,30 @@ impl Tableau {
             self.a[start + c] /= pv;
         }
         self.b[pivot_row] /= pv;
-        // Eliminate the pivot column from every other row.
-        let pivot_row_copy: Vec<f64> = self.row(pivot_row).to_vec();
+        // Eliminate the pivot column from every other row. Splitting the
+        // storage around the pivot row lets every other row borrow it
+        // directly — no per-pivot copy of the pivot row.
         let pivot_rhs = self.b[pivot_row];
-        for r in 0..self.rows {
-            if r == pivot_row {
-                continue;
-            }
-            let factor = self.at(r, pivot_col);
+        let b = &mut self.b;
+        let (before, rest) = self.a.split_at_mut(start);
+        let (pivot_slice, after) = rest.split_at_mut(cols);
+        let mut eliminate = |r: usize, row: &mut [f64]| {
+            let factor = row[pivot_col];
             if factor == 0.0 {
-                continue;
+                return;
             }
-            let base = r * cols;
-            for (value, &pivot_value) in self.a[base..base + cols].iter_mut().zip(&pivot_row_copy) {
+            for (value, &pivot_value) in row.iter_mut().zip(&*pivot_slice) {
                 *value -= factor * pivot_value;
             }
             // Clean tiny residue on the pivot column itself.
-            self.a[base + pivot_col] = 0.0;
-            self.b[r] -= factor * pivot_rhs;
+            row[pivot_col] = 0.0;
+            b[r] -= factor * pivot_rhs;
+        };
+        for (r, row) in before.chunks_exact_mut(cols).enumerate() {
+            eliminate(r, row);
+        }
+        for (i, row) in after.chunks_exact_mut(cols).enumerate() {
+            eliminate(pivot_row + 1 + i, row);
         }
         self.basis[pivot_row] = pivot_col;
     }
@@ -657,8 +698,19 @@ pub(crate) fn maximization_cost(problem: &LpProblem, cols: usize) -> Vec<f64> {
     cost
 }
 
-/// Solves `problem` with the given options.
+/// Solves `problem` with the given options, dispatching on
+/// [`SimplexOptions::engine`].
 pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
+    match options.engine {
+        SimplexEngine::Sparse => crate::sparse::solve(problem, options),
+        SimplexEngine::Dense => solve_dense(problem, options),
+    }
+}
+
+/// Solves `problem` with the dense full-tableau engine regardless of
+/// [`SimplexOptions::engine`] — the differential oracle for the sparse
+/// engine and the reference side of `tests/lp_sparse.rs`.
+pub fn solve_dense(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
     problem.validate()?;
     let n = problem.num_vars();
     let mut asm = assemble(n, problem.constraints());

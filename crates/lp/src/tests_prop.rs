@@ -2,8 +2,18 @@
 //! the crate so they can live next to the implementation; see `lib.rs`).
 
 use crate::incremental::RowUpdate;
-use crate::{ConstraintOp, LpError, LpProblem, RowId, Sense, SimplexOptions, SimplexState, VarId};
+use crate::{
+    ConstraintOp, LpError, LpProblem, RowId, Sense, SimplexEngine, SimplexOptions, SimplexState,
+    VarId,
+};
 use proptest::prelude::*;
+
+fn dense_options() -> SimplexOptions {
+    SimplexOptions {
+        engine: SimplexEngine::Dense,
+        ..SimplexOptions::default()
+    }
+}
 
 /// A random packing LP: maximise Σ cᵢ xᵢ subject to Ax ≤ b with non-negative
 /// data. Always feasible (x = 0) and always bounded whenever every variable
@@ -290,6 +300,80 @@ proptest! {
         let after = warm.resolve().expect("state still consistent").objective;
         prop_assert!((after - before).abs() <= 1e-6 * before.abs().max(1.0),
             "failed update changed the optimum: {before} -> {after}");
+    }
+
+    /// The sparse revised-simplex engine is a drop-in replacement for the
+    /// dense tableau: identical status and objective (1e-9 relative) on
+    /// random packing LPs, and the sparse engine's point is feasible for
+    /// the model.
+    #[test]
+    fn sparse_engine_matches_dense_on_packing_lps(lp in packing_strategy()) {
+        let (problem, _) = build(&lp);
+        let sparse = problem.solve().expect("sparse solves packing LPs");
+        let dense = problem.solve_with(&dense_options()).expect("dense solves packing LPs");
+        prop_assert!((sparse.objective - dense.objective).abs()
+            <= 1e-9 * dense.objective.abs().max(1.0),
+            "sparse {} vs dense {}", sparse.objective, dense.objective);
+        prop_assert!(problem.max_violation(&sparse.values) < 1e-6,
+            "sparse point infeasible (violation {})",
+            problem.max_violation(&sparse.values));
+    }
+
+    /// Sparse ≡ dense including *degenerate* rows (`x_i − x_j ≥ 0` chains
+    /// with zero right-hand sides — the historical stall class) and mixed
+    /// `=` rows, at every refactorization interval from per-pivot to
+    /// effectively-never.
+    #[test]
+    fn sparse_engine_matches_dense_on_degenerate_lps(
+        lp in packing_strategy(),
+        pairs in proptest::collection::vec((0usize..6, 0usize..6), 1..5),
+        pin in 0.1f64..2.0,
+        interval_pick in 0usize..5,
+    ) {
+        let interval = [1usize, 2, 7, 64, 100_000][interval_pick];
+        let (mut problem, vars) = build(&lp);
+        for (i, j) in pairs {
+            let a = vars[i % vars.len()];
+            let b = vars[j % vars.len()];
+            if a != b {
+                problem.add_ge(&[(a, 1.0), (b, -1.0)], 0.0);
+            }
+        }
+        // An equality row exercises phase 1 on both engines.
+        problem.add_eq(&[(vars[0], 1.0)], pin.min(lp.bounds[0]));
+        let sparse_opts = SimplexOptions {
+            refactor_interval: interval,
+            ..SimplexOptions::default()
+        };
+        match (problem.solve_with(&sparse_opts), problem.solve_with(&dense_options())) {
+            (Ok(s), Ok(d)) => {
+                prop_assert!((s.objective - d.objective).abs()
+                    <= 1e-9 * d.objective.abs().max(1.0),
+                    "interval {interval}: sparse {} vs dense {}", s.objective, d.objective);
+                prop_assert!(problem.max_violation(&s.values) < 1e-6);
+            }
+            (Err(se), Err(de)) => prop_assert_eq!(se, de, "verdicts differ"),
+            (s, d) => prop_assert!(false, "solvability differs: sparse {s:?} vs dense {d:?}"),
+        }
+    }
+
+    /// Sparse ≡ dense on *infeasible* models: both engines must return
+    /// `Infeasible`, never a bogus optimum.
+    #[test]
+    fn sparse_engine_matches_dense_on_infeasible_lps(
+        lp in packing_strategy(),
+        k in 0usize..6,
+        gap in 0.5f64..5.0,
+    ) {
+        let (mut problem, vars) = build(&lp);
+        // x_k ≥ bound_k + gap contradicts x_k ≤ bound_k.
+        let v = vars[k % vars.len()];
+        problem.add_ge(&[(v, 1.0)], lp.bounds[k % vars.len()] + gap);
+        prop_assert_eq!(problem.solve().unwrap_err(), LpError::Infeasible);
+        prop_assert_eq!(
+            problem.solve_with(&dense_options()).unwrap_err(),
+            LpError::Infeasible
+        );
     }
 
     /// Scaling every coefficient of the objective scales the optimum.

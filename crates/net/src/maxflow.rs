@@ -112,10 +112,14 @@ impl FlowNetwork {
         self.level[sink] >= 0
     }
 
-    /// Sends blocking flow along the level graph (iterative DFS).
-    fn augment(&mut self, source: usize, sink: usize) -> f64 {
+    /// Sends blocking flow along the level graph (iterative DFS), stopping
+    /// early once `limit` total flow has been pushed in this phase.
+    fn augment(&mut self, source: usize, sink: usize, limit: f64) -> f64 {
         let mut total = 0.0;
         loop {
+            if total >= limit {
+                return total;
+            }
             // Find one augmenting path in the level graph.
             let mut path: Vec<(usize, usize)> = Vec::new(); // (node, arc index)
             let mut u = source;
@@ -170,6 +174,15 @@ impl FlowNetwork {
     /// residual capacities (so call [`FlowNetwork::reset`] first when re-using
     /// the network).
     pub fn max_flow(&mut self, source: NodeId, sink: NodeId) -> f64 {
+        self.max_flow_limited(source, sink, f64::INFINITY)
+    }
+
+    /// Like [`max_flow`](Self::max_flow), but stops augmenting once `limit`
+    /// flow has been reached. The separation oracle only needs to know
+    /// whether a destination's flow clears the current throughput target —
+    /// pushing further is wasted work (and the min cut is only consulted
+    /// when the limit was *not* reached, where the flow is exact).
+    pub fn max_flow_limited(&mut self, source: NodeId, sink: NodeId, limit: f64) -> f64 {
         let (s, t) = (source.index(), sink.index());
         assert!(
             s < self.arcs.len() && t < self.arcs.len(),
@@ -179,9 +192,9 @@ impl FlowNetwork {
             return f64::INFINITY;
         }
         let mut flow = 0.0;
-        while self.build_levels(s, t) {
+        while flow < limit && self.build_levels(s, t) {
             self.cursor.iter_mut().for_each(|c| *c = 0);
-            let pushed = self.augment(s, t);
+            let pushed = self.augment(s, t, limit - flow);
             if pushed <= FLOW_EPS {
                 break;
             }
@@ -243,6 +256,96 @@ impl FlowNetwork {
             }
         }
         f
+    }
+}
+
+/// A max-flow solver whose residual-network structure is built **once** per
+/// graph and whose arcs, level/cursor arrays, and min-cut buffer are reused
+/// across solves.
+///
+/// The cut-generation separation oracle runs one max-flow per destination
+/// per master round — hundreds to thousands of calls against the *same*
+/// topology with different capacities. The one-shot [`max_flow`] wrapper
+/// rebuilds the whole residual network (one allocation per node plus the
+/// per-edge arc pairs) on every call; this solver only rewrites the arc
+/// capacities in place.
+pub struct MaxFlowSolver {
+    net: FlowNetwork,
+    /// Arc location `(tail node, arc index)` of each platform edge, indexed
+    /// by [`EdgeId`].
+    locations: Vec<(u32, u32)>,
+    /// Reused min-cut membership buffer.
+    side: Vec<bool>,
+}
+
+impl MaxFlowSolver {
+    /// Builds the solver for `graph`'s topology (capacities are supplied per
+    /// solve).
+    pub fn new<N, E>(graph: &DiGraph<N, E>) -> Self {
+        let mut net = FlowNetwork::new(graph.node_count());
+        let mut locations = Vec::with_capacity(graph.edge_count());
+        for e in graph.edges() {
+            locations.push((e.src.index() as u32, net.arcs[e.src.index()].len() as u32));
+            net.add_edge(e.src, e.dst, 0.0, Some(e.id));
+        }
+        let side = vec![false; graph.node_count()];
+        MaxFlowSolver {
+            net,
+            locations,
+            side,
+        }
+    }
+
+    /// Computes the maximum `source → sink` flow under the per-edge
+    /// capacities given by `capacity` (negative capacities clamp to zero).
+    /// All internal buffers are reused; no allocation on the hot path.
+    pub fn solve<C: FnMut(EdgeId) -> f64>(
+        &mut self,
+        source: NodeId,
+        sink: NodeId,
+        capacity: C,
+    ) -> f64 {
+        self.solve_limited(source, sink, capacity, f64::INFINITY)
+    }
+
+    /// Like [`solve`](Self::solve) but stops once `limit` flow is reached
+    /// (see [`FlowNetwork::max_flow_limited`]). The returned value is exact
+    /// whenever it is below `limit`.
+    pub fn solve_limited<C: FnMut(EdgeId) -> f64>(
+        &mut self,
+        source: NodeId,
+        sink: NodeId,
+        mut capacity: C,
+        limit: f64,
+    ) -> f64 {
+        for (i, &(u, a)) in self.locations.iter().enumerate() {
+            let cap = capacity(EdgeId(i as u32)).max(0.0);
+            let arc = &mut self.net.arcs[u as usize][a as usize];
+            arc.capacity = cap;
+            arc.residual = cap;
+            let (to, rev) = (arc.to as usize, arc.rev as usize);
+            self.net.arcs[to][rev].residual = 0.0;
+        }
+        self.net.max_flow_limited(source, sink, limit)
+    }
+
+    /// Source side of a minimum cut for the **last** [`solve`](Self::solve)
+    /// (nodes reachable from `source` in the residual graph), in a reused
+    /// buffer.
+    pub fn min_cut_source_side(&mut self, source: NodeId) -> &[bool] {
+        self.side.iter_mut().for_each(|v| *v = false);
+        self.side[source.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(source.index());
+        while let Some(u) = queue.pop_front() {
+            for arc in &self.net.arcs[u] {
+                if arc.residual > FLOW_EPS && !self.side[arc.to as usize] {
+                    self.side[arc.to as usize] = true;
+                    queue.push_back(arc.to as usize);
+                }
+            }
+        }
+        &self.side
     }
 }
 
@@ -431,6 +534,29 @@ mod tests {
         net.reset();
         let again = net.max_flow(NodeId(0), NodeId(2));
         assert!((again - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persistent_solver_matches_one_shot_across_capacity_sets() {
+        let (g, s, t) = classic();
+        let mut solver = MaxFlowSolver::new(&g);
+        // Three different capacity assignments against the same topology:
+        // the persistent solver must match the one-shot wrapper on value and
+        // cut partition every time (buffer reuse must not leak state).
+        for scale in [1.0f64, 0.5, 2.25] {
+            let reference = max_flow(&g, s, t, |_, &c| c * scale);
+            let value = solver.solve(s, t, |e| *g.edge(e) * scale);
+            assert!(
+                (value - reference.value).abs() < 1e-9,
+                "scale {scale}: {value} vs {}",
+                reference.value
+            );
+            assert_eq!(solver.min_cut_source_side(s), &reference.source_side[..]);
+        }
+        // Zeroing a previously positive capacity must not leave residual
+        // flow behind.
+        let cut_all = solver.solve(s, t, |_| 0.0);
+        assert_eq!(cut_all, 0.0);
     }
 
     #[test]

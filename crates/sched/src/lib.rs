@@ -392,11 +392,18 @@ pub fn resynthesize_schedule(
         trees,
     );
     debug_assert!(schedule.validate(platform).is_ok());
-    // Quality gate: repair must stay within REPAIR_EFFICIENCY_FLOOR of the
-    // LP bound or the drift has restructured the platform enough that a
-    // fresh synthesis is worth its cost.
+    // Quality gate: a repair below REPAIR_EFFICIENCY_FLOOR of the LP bound
+    // is suspect — but not automatically worse than a fresh synthesis: on
+    // some instances the *loads themselves* synthesize poorly (a
+    // degenerate LP vertex) and a rebuild of the same loads lands at the
+    // same efficiency while discarding every kept tree. Below the floor,
+    // pay for the full synthesis once and keep whichever schedule is
+    // actually better (ties keep the repair, preserving the trees).
     if schedule.efficiency() < REPAIR_EFFICIENCY_FLOOR {
-        return full_rebuild(platform);
+        let (fresh, fresh_report) = full_rebuild(platform)?;
+        if fresh.efficiency() > schedule.efficiency() + 1e-12 {
+            return Ok((fresh, fresh_report));
+        }
     }
     Ok((schedule, report))
 }
