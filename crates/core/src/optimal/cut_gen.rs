@@ -45,15 +45,19 @@
 //! cuts are returned alongside for reuse.
 
 use crate::error::CoreError;
-use crate::optimal::{edge_lp_skeleton, edge_lp_vars, port_constraints, OptimalThroughput};
+use crate::optimal::{
+    edge_lp_skeleton, edge_lp_vars, port_constraints, port_constraints_keyed, OptimalThroughput,
+    PortKey,
+};
 use bcast_lp::{
-    Constraint, ConstraintOp, LpProblem, LpSolution, PricingRule, RowId, RowUpdate, SimplexEngine,
-    SimplexOptions, SimplexState, VarId,
+    Constraint, ConstraintOp, LpProblem, LpSolution, NewCol, PricingRule, RowId, RowUpdate,
+    SimplexEngine, SimplexOptions, SimplexState, VarId,
 };
 use bcast_net::maxflow::MaxFlowSolver;
 use bcast_net::NodeId;
+use bcast_platform::drift::ChurnRemap;
 use bcast_platform::Platform;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Hard cap on the number of master-LP rounds; each round adds at least one
 /// new cut per violated destination, so realistic instances converge in a
@@ -266,6 +270,9 @@ pub struct CutGenSession {
     /// Warm mode: handles of the one-port rows, for per-step coefficient
     /// updates (empty in cold mode).
     port_rows: Vec<RowId>,
+    /// Warm mode: the `(node, direction)` identity of each port row,
+    /// parallel to `port_rows` — the reconciliation key under node churn.
+    port_keys: Vec<PortKey>,
     cuts: Vec<Cut>,
     index_by_edges: HashMap<Vec<u32>, usize>,
     steps: usize,
@@ -316,20 +323,21 @@ impl CutGenSession {
         // tie-breaking; the obvious candidate (maximise total edge load)
         // measurably *hurt* separation here, so none is installed — finding
         // a separation-aware tie-break is an open item in ROADMAP.md.
-        let (master, port_rows) = if options.warm_start {
+        let (master, port_rows, port_keys) = if options.warm_start {
             let mut state =
                 SimplexState::new(&vars_only, options.simplex_options()).map_err(CoreError::Lp)?;
             // The port rows are appended (not part of the construction
             // snapshot's constraints) so the session holds their handles
             // for the per-step coefficient updates. The assembled tableau
             // is identical either way.
-            let port_rows = state
-                .add_rows(&port_constraints(platform, slice_size, &n_vars))
-                .map_err(CoreError::Lp)?;
-            (MasterLp::Warm(Box::new(state)), port_rows)
+            let keyed = port_constraints_keyed(platform, slice_size, &n_vars);
+            let constraints: Vec<Constraint> = keyed.iter().map(|(_, c)| c.clone()).collect();
+            let port_rows = state.add_rows(&constraints).map_err(CoreError::Lp)?;
+            let port_keys = keyed.into_iter().map(|(k, _)| k).collect();
+            (MasterLp::Warm(Box::new(state)), port_rows, port_keys)
         } else {
             let (base, _, _) = edge_lp_skeleton(platform, slice_size);
-            (MasterLp::Cold(base), Vec::new())
+            (MasterLp::Cold(base), Vec::new(), Vec::new())
         };
         let maxflow = MaxFlowSolver::new(platform.graph());
         let screen = vec![DestScreen::default(); n.saturating_sub(1)];
@@ -343,6 +351,7 @@ impl CutGenSession {
             n_vars,
             master,
             port_rows,
+            port_keys,
             cuts: Vec::new(),
             index_by_edges: HashMap::new(),
             steps: 0,
@@ -535,6 +544,291 @@ impl CutGenSession {
             platform.edge_count(),
             self.edges,
         );
+        self.solve_inner(platform)
+    }
+
+    /// Solves a snapshot whose node set *changed* relative to the previous
+    /// step, translating the whole session state — master-LP columns, port
+    /// rows, cut pool, separation scratch — through `remap` (typically
+    /// [`bcast_platform::drift::DriftTrace::remap`] between consecutive
+    /// steps) instead of rebuilding it:
+    ///
+    /// * edge-load columns of departed edges are deleted from the live
+    ///   master and columns for new attachment edges appended (they enter
+    ///   nonbasic at zero, so the surviving basis stays primal-feasible);
+    /// * port rows are reconciled by `(node, direction)` identity — rows of
+    ///   departed nodes are deleted in place, rows for joiners appended;
+    /// * a cut survives iff its entire source side survives and a sink
+    ///   remains; surviving cuts keep their rows with crossing edges
+    ///   recomputed on the new topology (joiners land on the sink side),
+    ///   and each joiner seeds its trivial `all-but-w` cut;
+    /// * max-flow scratch and separation screen are rebuilt for the new
+    ///   topology.
+    ///
+    /// Warm-starting never changes *what* is computed: any repair the LP
+    /// layer cannot express incrementally falls back to a cold solve
+    /// inside it, and termination is certified by the separation oracle
+    /// over the new platform either way.
+    ///
+    /// # Panics
+    /// Panics when `remap` does not lead from the session's current
+    /// topology to `platform`'s, or when the broadcast source departs.
+    pub fn solve_step_churn(
+        &mut self,
+        platform: &Platform,
+        remap: &ChurnRemap,
+    ) -> Result<CutGenResult, CoreError> {
+        assert!(
+            remap.node_map.len() == self.nodes && remap.edge_map.len() == self.edges,
+            "remap must start from the session's topology \
+             ({}/{} nodes, {}/{} edges)",
+            remap.node_map.len(),
+            self.nodes,
+            remap.edge_map.len(),
+            self.edges,
+        );
+        assert!(
+            platform.node_count() == remap.nodes && platform.edge_count() == remap.edges,
+            "remap must target the snapshot's topology \
+             ({}/{} nodes, {}/{} edges)",
+            remap.nodes,
+            platform.node_count(),
+            remap.edges,
+            platform.edge_count(),
+        );
+        if remap.is_identity() {
+            return self.solve_inner(platform);
+        }
+        let new_source = remap.node_map[self.source.index()]
+            .expect("the broadcast source cannot leave the platform");
+
+        // ---- Plan the cut pool in the new compact id space. ----
+        // A cut survives iff every source-side node survives and at least
+        // one node remains on the sink side (joiners are sink-side, so any
+        // join keeps every surviving cut meaningful). Two cuts whose
+        // crossing-edge sets collapse onto each other are merged; the
+        // loser's master row is scheduled for deletion.
+        struct Planned {
+            side: Vec<bool>,
+            edges: Vec<u32>,
+            non_binding_streak: usize,
+            active: bool,
+            row: Option<RowId>,
+        }
+        let mut planned: Vec<Planned> = Vec::with_capacity(self.cuts.len());
+        let mut planned_by_edges: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut dead_rows: Vec<RowId> = Vec::new();
+        for cut in &self.cuts {
+            let survives = cut
+                .side
+                .iter()
+                .enumerate()
+                .all(|(u, &inside)| !inside || remap.node_map[u].is_some());
+            let mut kept = None;
+            if survives {
+                let mut side = vec![false; remap.nodes];
+                for (u, &inside) in cut.side.iter().enumerate() {
+                    if inside {
+                        side[remap.node_map[u].expect("checked above").index()] = true;
+                    }
+                }
+                if side.iter().any(|&inside| !inside) {
+                    let probe = NodeCutSet {
+                        source_side: side.clone(),
+                    };
+                    let edges = probe.crossing_edges(platform);
+                    if !edges.is_empty() {
+                        kept = Some((side, edges));
+                    }
+                }
+            }
+            match kept {
+                Some((side, edges)) => match planned_by_edges.get(&edges) {
+                    Some(&i) => {
+                        // Collapsed duplicate: merge into the survivor.
+                        let keep = &mut planned[i];
+                        keep.active |= cut.active;
+                        keep.non_binding_streak =
+                            keep.non_binding_streak.min(cut.non_binding_streak);
+                        if let Some(row) = cut.row {
+                            if keep.row.is_none() {
+                                keep.row = Some(row);
+                            } else {
+                                dead_rows.push(row);
+                            }
+                        }
+                    }
+                    None => {
+                        planned_by_edges.insert(edges.clone(), planned.len());
+                        planned.push(Planned {
+                            side,
+                            edges,
+                            non_binding_streak: cut.non_binding_streak,
+                            active: cut.active,
+                            row: cut.row,
+                        });
+                    }
+                },
+                None => {
+                    if let Some(row) = cut.row {
+                        dead_rows.push(row);
+                    }
+                }
+            }
+        }
+
+        // ---- Reconcile the live master. ----
+        let mut new_n_vars: Vec<VarId> = vec![VarId(0); remap.edges];
+        for (old, mapped) in remap.edge_map.iter().enumerate() {
+            if let Some(new) = mapped {
+                new_n_vars[new.index()] = self.n_vars[old];
+            }
+        }
+        if let MasterLp::Warm(state) = &mut self.master {
+            let graph = platform.graph();
+            // Port keys of the new platform, in port_constraints order.
+            let keys_new: Vec<PortKey> = platform
+                .nodes()
+                .flat_map(|u| {
+                    let out = (graph.out_degree(u) > 0).then_some(PortKey { node: u, out: true });
+                    let inc = (graph.in_degree(u) > 0).then_some(PortKey {
+                        node: u,
+                        out: false,
+                    });
+                    out.into_iter().chain(inc)
+                })
+                .collect();
+            let keys_new_set: HashSet<PortKey> = keys_new.iter().copied().collect();
+            // Surviving port rows, addressed by their *new-space* key.
+            let mut surviving_ports: HashMap<PortKey, RowId> = HashMap::new();
+            for (&key, &row) in self.port_keys.iter().zip(&self.port_rows) {
+                let new_key = remap.node_map[key.node.index()].map(|n| PortKey {
+                    node: n,
+                    out: key.out,
+                });
+                match new_key {
+                    Some(k) if keys_new_set.contains(&k) => {
+                        surviving_ports.insert(k, row);
+                    }
+                    _ => dead_rows.push(row),
+                }
+            }
+            // 1. Delete rows of dead cuts, collapsed duplicates, and
+            //    departed port constraints.
+            state.delete_rows(&dead_rows).map_err(CoreError::Lp)?;
+            // 2. Delete the edge-load columns of departed edges.
+            let mut dead_cols = Vec::new();
+            for (old, mapped) in remap.edge_map.iter().enumerate() {
+                if mapped.is_none() {
+                    dead_cols.push(state.col_id(self.n_vars[old]).map_err(CoreError::Lp)?);
+                }
+            }
+            state.delete_cols(&dead_cols).map_err(CoreError::Lp)?;
+            // 3. Append zero-objective columns for the new edges; they
+            //    enter every existing row with coefficient 0 and are wired
+            //    into the port/cut rows by the updates below.
+            let fresh: Vec<NewCol> = remap
+                .new_edges
+                .iter()
+                .map(|_| NewCol::new(0.0, Vec::new()))
+                .collect();
+            let fresh_cols = state.add_cols(&fresh).map_err(CoreError::Lp)?;
+            for (&e, col) in remap.new_edges.iter().zip(fresh_cols) {
+                new_n_vars[e.index()] = col.var();
+            }
+            // 4. Reconcile the port rows: reuse survivors (their
+            //    coefficients are rewritten by the per-step update in the
+            //    solve below, like on every drift step), append the rest.
+            let keyed = port_constraints_keyed(platform, self.slice_size, &new_n_vars);
+            debug_assert_eq!(keyed.iter().map(|(k, _)| *k).collect::<Vec<_>>(), keys_new);
+            let missing: Vec<Constraint> = keyed
+                .iter()
+                .filter(|(k, _)| !surviving_ports.contains_key(k))
+                .map(|(_, c)| c.clone())
+                .collect();
+            let mut appended = state.add_rows(&missing).map_err(CoreError::Lp)?.into_iter();
+            let mut port_rows = Vec::with_capacity(keys_new.len());
+            for key in &keys_new {
+                match surviving_ports.get(key) {
+                    Some(&row) => port_rows.push(row),
+                    None => port_rows.push(appended.next().expect("appended one per missing key")),
+                }
+            }
+            self.port_rows = port_rows;
+            self.port_keys = keys_new;
+            // 5. Rewrite surviving cut rows for their new crossing edges
+            //    (departed columns are already stripped; new attachment
+            //    edges may now cross the cut).
+            let tp = self.tp;
+            let updates: Vec<RowUpdate> = planned
+                .iter()
+                .filter_map(|p| {
+                    p.row.map(|row| {
+                        RowUpdate::new(row, cut_row_terms(&p.edges, tp, &new_n_vars), 0.0)
+                    })
+                })
+                .collect();
+            state.update_coeffs(&updates).map_err(CoreError::Lp)?;
+        } else {
+            // Cold mode: the base LP is rebuilt from the snapshot inside
+            // the solve; only the variable layout must match the new edge
+            // count.
+            for (i, v) in new_n_vars.iter_mut().enumerate() {
+                *v = VarId(i + 1);
+            }
+        }
+
+        // ---- Install the translated session state. ----
+        self.cuts = planned
+            .into_iter()
+            .map(|p| Cut {
+                side: p.side,
+                edges: p.edges,
+                non_binding_streak: p.non_binding_streak,
+                active: p.active,
+                row: p.row,
+            })
+            .collect();
+        self.index_by_edges = self
+            .cuts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.edges.clone(), i))
+            .collect();
+        self.n_vars = new_n_vars;
+        self.source = new_source;
+        self.nodes = remap.nodes;
+        self.edges = remap.edges;
+        self.maxflow = MaxFlowSolver::new(platform.graph());
+        self.screen = vec![DestScreen::default(); remap.nodes.saturating_sub(1)];
+        // The stabilization center lives in load space: survivors carry
+        // their running average over, new edges start from zero.
+        if !self.stab_center.is_empty() {
+            let mut center = vec![0.0; remap.edges];
+            for (old, mapped) in remap.edge_map.iter().enumerate() {
+                if let Some(new) = mapped {
+                    if let Some(&c) = self.stab_center.get(old) {
+                        center[new.index()] = c;
+                    }
+                }
+            }
+            self.stab_center = center;
+        }
+        // Each joiner seeds its trivial cut (everyone-but-the-joiner): the
+        // master must know from round one that the newcomer needs TP too.
+        for &w in &remap.new_nodes {
+            let mut all_but_w = vec![true; remap.nodes];
+            all_but_w[w.index()] = false;
+            self.add_cut(platform, all_but_w);
+        }
+        self.solve_inner(platform)
+    }
+
+    /// The shared solve path of [`solve_step`](Self::solve_step) and
+    /// [`solve_step_churn`](Self::solve_step_churn): per-step port-row
+    /// coefficient refresh plus the separation loop. Assumes the session's
+    /// bookkeeping already matches `platform`'s topology.
+    fn solve_inner(&mut self, platform: &Platform) -> Result<CutGenResult, CoreError> {
         let source = self.source;
         // Guard infeasible platforms explicitly: an unreachable destination
         // has only *empty* violated cuts, which the partition bookkeeping
@@ -887,6 +1181,79 @@ mod tests {
         }
         assert!(reused_any);
         assert_eq!(session.steps(), trace.len());
+    }
+
+    #[test]
+    fn churn_session_matches_fresh_solves_per_step() {
+        use bcast_platform::drift::{DriftConfig, DriftTrace};
+        use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
+        let mut rng = StdRng::seed_from_u64(41);
+        let platform = tiers_platform(&TiersConfig::paper(16, 0.12), &mut rng);
+        let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_churn(10, 123));
+        let mut session =
+            CutGenSession::new(&platform, NodeId(0), 1.0e6, CutGenOptions::default()).unwrap();
+        let mut churned = false;
+        for step in 0..trace.len() {
+            let snapshot = trace.platform_at(step);
+            let warm = if step == 0 {
+                session.solve_step(&snapshot).unwrap()
+            } else {
+                let remap = trace.remap(step - 1, step);
+                churned |= !remap.is_identity();
+                session.solve_step_churn(&snapshot, &remap).unwrap()
+            };
+            let fresh = solve(&snapshot, trace.source_at(step), 1.0e6).unwrap();
+            assert!(
+                (warm.optimal.throughput - fresh.throughput).abs()
+                    <= 1e-6 * fresh.throughput.max(1e-12),
+                "step {step}: churn session {} vs fresh {}",
+                warm.optimal.throughput,
+                fresh.throughput
+            );
+            // Loads are reported in the snapshot's compact edge space.
+            assert_eq!(warm.optimal.edge_load.len(), snapshot.edge_count());
+            for cut in &warm.binding_cuts {
+                assert!(cut.is_valid_for(&snapshot, trace.source_at(step)));
+            }
+        }
+        assert!(churned, "trace produced no node churn");
+    }
+
+    #[test]
+    fn churn_session_survives_dense_engine_and_cold_mode() {
+        use bcast_platform::drift::{DriftConfig, DriftTrace};
+        let mut rng = StdRng::seed_from_u64(43);
+        let platform = random_platform(&RandomPlatformConfig::paper(10, 0.2), &mut rng);
+        let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_churn(6, 7));
+        for options in [
+            CutGenOptions {
+                lp_engine: SimplexEngine::Dense,
+                ..CutGenOptions::default()
+            },
+            CutGenOptions {
+                warm_start: false,
+                ..CutGenOptions::default()
+            },
+        ] {
+            let mut session = CutGenSession::new(&platform, NodeId(0), 1.0e6, options).unwrap();
+            for step in 0..trace.len() {
+                let snapshot = trace.platform_at(step);
+                let remap = if step == 0 {
+                    ChurnRemap::identity(snapshot.node_count(), snapshot.edge_count())
+                } else {
+                    trace.remap(step - 1, step)
+                };
+                let warm = session.solve_step_churn(&snapshot, &remap).unwrap();
+                let fresh = solve(&snapshot, trace.source_at(step), 1.0e6).unwrap();
+                assert!(
+                    (warm.optimal.throughput - fresh.throughput).abs()
+                        <= 1e-6 * fresh.throughput.max(1e-12),
+                    "step {step}: {} vs {}",
+                    warm.optimal.throughput,
+                    fresh.throughput
+                );
+            }
+        }
     }
 
     #[test]

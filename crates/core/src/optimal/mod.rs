@@ -55,6 +55,29 @@ pub(crate) fn port_constraints(
     slice_size: f64,
     n_vars: &[VarId],
 ) -> Vec<Constraint> {
+    port_constraints_keyed(platform, slice_size, n_vars)
+        .into_iter()
+        .map(|(_, con)| con)
+        .collect()
+}
+
+/// A port row's identity across node churn: the node it belongs to and the
+/// port direction. The cut-generation session reconciles its live rows
+/// against these keys when nodes join or leave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct PortKey {
+    pub node: NodeId,
+    /// True for the output-port row, false for the input-port row.
+    pub out: bool,
+}
+
+/// [`port_constraints`] with each row tagged by its [`PortKey`], in the
+/// same deterministic order.
+pub(crate) fn port_constraints_keyed(
+    platform: &Platform,
+    slice_size: f64,
+    n_vars: &[VarId],
+) -> Vec<(PortKey, Constraint)> {
     let graph = platform.graph();
     let mut rows = Vec::with_capacity(2 * platform.node_count());
     for u in platform.nodes() {
@@ -63,22 +86,31 @@ pub(crate) fn port_constraints(
             .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
             .collect();
         if !out_terms.is_empty() {
-            rows.push(Constraint {
-                terms: out_terms,
-                op: ConstraintOp::Le,
-                rhs: 1.0,
-            });
+            rows.push((
+                PortKey { node: u, out: true },
+                Constraint {
+                    terms: out_terms,
+                    op: ConstraintOp::Le,
+                    rhs: 1.0,
+                },
+            ));
         }
         let in_terms: Vec<(VarId, f64)> = graph
             .in_edges(u)
             .map(|e| (n_vars[e.id.index()], platform.link_time(e.id, slice_size)))
             .collect();
         if !in_terms.is_empty() {
-            rows.push(Constraint {
-                terms: in_terms,
-                op: ConstraintOp::Le,
-                rhs: 1.0,
-            });
+            rows.push((
+                PortKey {
+                    node: u,
+                    out: false,
+                },
+                Constraint {
+                    terms: in_terms,
+                    op: ConstraintOp::Le,
+                    rhs: 1.0,
+                },
+            ));
         }
     }
     rows

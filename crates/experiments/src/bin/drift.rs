@@ -22,6 +22,17 @@
 //! number: total pivots must drop ≥ 5× on Tiers-40, asserted at test scale
 //! by `tests/dynamic_drift.rs`).
 //!
+//! A second section (ablation 8) adds **node churn**: traces where
+//! processors join and leave are swept over (join, leave) rate pairs; the
+//! warm side survives the node-set changes via `solve_step_churn` (cut-pool
+//! remapping plus in-place LP column add/delete) and
+//! `resynthesize_schedule_churn` (grafting joiners, pruning leavers), again
+//! against cold from-scratch re-solves. Every churn trace is seed-probed to
+//! exercise at least one join *and* one leave — including under `--quick`,
+//! so the CI smoke genuinely covers both event kinds
+//! (`tests/churn_drift.rs` asserts the equivalence and the pivot drop at
+//! test scale).
+//!
 //! ```text
 //! cargo run --release -p bcast-experiments --bin drift -- [--configs N] [--seed S] [--quick] [--csv PATH]
 //! ```
@@ -30,12 +41,15 @@ use bcast_core::optimal::cut_gen;
 use bcast_core::{CutGenOptions, CutGenSession};
 use bcast_experiments::{write_csv_or_exit, AsciiTable, ExperimentArgs};
 use bcast_net::NodeId;
-use bcast_platform::drift::{DriftConfig, DriftTrace};
+use bcast_platform::drift::{DriftConfig, DriftEvent, DriftTrace};
 use bcast_platform::generators::gaussian_field::{gaussian_platform, GaussianPlatformConfig};
 use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
 use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
 use bcast_platform::{MessageSpec, Platform};
-use bcast_sched::{resynthesize_schedule, synthesize_schedule, PeriodicSchedule, SynthesisConfig};
+use bcast_sched::{
+    resynthesize_schedule, resynthesize_schedule_churn, synthesize_schedule, PeriodicSchedule,
+    SynthesisConfig,
+};
 use bcast_sim::simulate_schedule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +57,7 @@ use std::time::Instant;
 
 const SLICE: f64 = 1.0e6;
 const DRIFT_STEPS: usize = 10;
+const CHURN_STEPS: usize = 8;
 const BATCH: usize = 16;
 
 struct StepRecord {
@@ -156,8 +171,11 @@ fn main() {
                     total_cold += r.cold_pivots;
                 }
                 csv_rows.push(vec![
+                    "drift".to_string(),
                     label.to_string(),
                     instance.to_string(),
+                    "0".to_string(),
+                    "0".to_string(),
                     r.step.to_string(),
                     format!("{}", r.tp),
                     r.warm_pivots.to_string(),
@@ -167,6 +185,8 @@ fn main() {
                     r.reused_cuts.to_string(),
                     r.kept_trees.to_string(),
                     r.repair_ops.to_string(),
+                    "0".to_string(),
+                    "0".to_string(),
                     format!("{}", r.efficiency),
                     format!("{}", r.sim_tp),
                 ]);
@@ -178,10 +198,130 @@ fn main() {
             total_cold as f64 / total_warm.max(1) as f64
         );
     }
+    // ---- Ablation 8: node churn (join/leave rate sweep). -----------------
+    let (churn_label, churn_gen): (&str, PlatformGenerator) = if args.quick {
+        (
+            "tiers-20",
+            Box::new(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                tiers_platform(&TiersConfig::paper(20, 0.10), &mut rng)
+            }),
+        )
+    } else {
+        (
+            "tiers-40",
+            Box::new(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                tiers_platform(&TiersConfig::paper(40, 0.10), &mut rng)
+            }),
+        )
+    };
+    let rate_points: &[(f64, f64)] = if args.quick {
+        &[(0.45, 0.35)]
+    } else {
+        &[(0.20, 0.10), (0.45, 0.35), (0.60, 0.50)]
+    };
+    println!(
+        "Ablation 8 — node churn on {churn_label}: joins grafted / leaves pruned in place \
+         ({CHURN_STEPS} churn steps per trace, every trace exercises ≥ 1 join and ≥ 1 leave)\n"
+    );
+    for (point, &(join_rate, leave_rate)) in rate_points.iter().enumerate() {
+        let mut total_warm = 0usize;
+        let mut total_cold = 0usize;
+        let mut total_joins = 0usize;
+        let mut total_leaves = 0usize;
+        let mut warm_ms = 0.0f64;
+        let mut cold_ms = 0.0f64;
+        for instance in 0..args.configs {
+            let platform = churn_gen(args.seed + 101 * instance as u64);
+            let trace = churn_trace(
+                &platform,
+                join_rate,
+                leave_rate,
+                args.seed + 17 * point as u64 + instance as u64,
+            );
+            let (joins, leaves) = churn_events(&trace);
+            total_joins += joins;
+            total_leaves += leaves;
+            let (records, w_ms, c_ms) = run_churn_trace(&trace);
+            warm_ms += w_ms;
+            cold_ms += c_ms;
+            if instance == 0 {
+                let mut table = AsciiTable::new(vec![
+                    "step",
+                    "TP",
+                    "warm piv",
+                    "cold piv",
+                    "cuts reused",
+                    "kept",
+                    "repairs",
+                    "grafted",
+                    "pruned",
+                    "sched eff",
+                    "sim TP",
+                ]);
+                for r in &records {
+                    table.add_row(vec![
+                        r.step.to_string(),
+                        format!("{:.3}", r.tp),
+                        r.warm_pivots.to_string(),
+                        r.cold_pivots.to_string(),
+                        r.reused_cuts.to_string(),
+                        r.kept_trees.to_string(),
+                        r.repair_ops.to_string(),
+                        r.grafted.to_string(),
+                        r.pruned.to_string(),
+                        format!("{:.3}", r.efficiency),
+                        format!("{:.3}", r.sim_tp),
+                    ]);
+                }
+                println!(
+                    "{churn_label} join {join_rate:.2} / leave {leave_rate:.2} (instance 0):\n{}",
+                    table.render()
+                );
+            }
+            for r in &records {
+                if r.step > 0 {
+                    total_warm += r.warm_pivots;
+                    total_cold += r.cold_pivots;
+                }
+                csv_rows.push(vec![
+                    "churn".to_string(),
+                    churn_label.to_string(),
+                    instance.to_string(),
+                    format!("{join_rate}"),
+                    format!("{leave_rate}"),
+                    r.step.to_string(),
+                    format!("{}", r.tp),
+                    r.warm_pivots.to_string(),
+                    r.cold_pivots.to_string(),
+                    r.warm_rounds.to_string(),
+                    r.cold_rounds.to_string(),
+                    r.reused_cuts.to_string(),
+                    r.kept_trees.to_string(),
+                    r.repair_ops.to_string(),
+                    r.grafted.to_string(),
+                    r.pruned.to_string(),
+                    format!("{}", r.efficiency),
+                    format!("{}", r.sim_tp),
+                ]);
+            }
+        }
+        println!(
+            "{churn_label} join {join_rate:.2} / leave {leave_rate:.2} churn-step totals: \
+             {total_joins} joins, {total_leaves} leaves; warm {total_warm} pivots vs cold \
+             {total_cold} pivots ({:.1}x drop), wall-clock warm {warm_ms:.0} ms vs cold \
+             {cold_ms:.0} ms\n",
+            total_cold as f64 / total_warm.max(1) as f64
+        );
+    }
     if let Some(path) = &args.csv {
         let header: Vec<String> = [
+            "ablation",
             "family",
             "instance",
+            "join_rate",
+            "leave_rate",
             "step",
             "tp",
             "warm_pivots",
@@ -191,6 +331,8 @@ fn main() {
             "reused_cuts",
             "kept_trees",
             "repair_ops",
+            "grafted_nodes",
+            "pruned_nodes",
             "efficiency",
             "sim_tp",
         ]
@@ -263,6 +405,148 @@ fn run_trace(trace: &DriftTrace) -> (Vec<StepRecord>, f64, f64) {
             reused_cuts: warm.reused_cuts,
             repair_ops: report.repair_ops(),
             kept_trees: report.kept_trees,
+            efficiency: schedule.efficiency(),
+            sim_tp: sim.batch_throughput(schedule.slices_per_period()),
+        });
+        previous = Some(schedule);
+    }
+    (records, warm_ms, cold_ms)
+}
+
+struct ChurnStepRecord {
+    step: usize,
+    tp: f64,
+    warm_pivots: usize,
+    cold_pivots: usize,
+    warm_rounds: usize,
+    cold_rounds: usize,
+    reused_cuts: usize,
+    repair_ops: usize,
+    kept_trees: usize,
+    grafted: usize,
+    pruned: usize,
+    efficiency: f64,
+    sim_tp: f64,
+}
+
+/// Counts the trace's node-join and node-leave events.
+fn churn_events(trace: &DriftTrace) -> (usize, usize) {
+    let mut joins = 0usize;
+    let mut leaves = 0usize;
+    for step in 0..trace.len() {
+        for event in &trace.step(step).events {
+            match event {
+                DriftEvent::NodeJoin(_) => joins += 1,
+                DriftEvent::NodeLeave(_) => leaves += 1,
+                _ => {}
+            }
+        }
+    }
+    (joins, leaves)
+}
+
+/// Generates a churn trace that exercises at least one join *and* one leave.
+///
+/// Leaves are reachability-guarded (a departure that would disconnect a
+/// survivor is reverted), so on sparse Tiers topologies many candidate
+/// leaves never land; this probes a bounded, deterministic seed window
+/// until a trace with both event kinds appears so the ablation — and the
+/// `--quick` CI smoke in particular — always measures genuine node churn.
+fn churn_trace(platform: &Platform, join_rate: f64, leave_rate: f64, seed: u64) -> DriftTrace {
+    for probe in 0..64u64 {
+        let trace = DriftTrace::generate(
+            platform,
+            NodeId(0),
+            &DriftConfig {
+                join_rate,
+                leave_rate,
+                ..DriftConfig::with_failures(CHURN_STEPS, seed + 1000 * probe)
+            },
+        );
+        let (joins, leaves) = churn_events(&trace);
+        if joins > 0 && leaves > 0 {
+            return trace;
+        }
+    }
+    panic!("no seed in [{seed}, {seed} + 64000) produced both a join and a leave");
+}
+
+/// Walks one churn trace warm and cold, mirroring [`run_trace`] but across
+/// node-set changes: the warm side carries the session through
+/// `solve_step_churn` (cut-pool remap + LP column add/delete) and repairs
+/// the schedule with `resynthesize_schedule_churn` (graft joiners, prune
+/// leavers); the cold side re-solves and re-synthesizes from scratch.
+fn run_churn_trace(trace: &DriftTrace) -> (Vec<ChurnStepRecord>, f64, f64) {
+    let config = SynthesisConfig::with_batch(BATCH);
+    let spec = MessageSpec::new(4.0 * BATCH as f64 * SLICE, SLICE);
+    let snap0 = trace.platform_at(0);
+    let mut session =
+        CutGenSession::new(&snap0, trace.source_at(0), SLICE, CutGenOptions::default())
+            .expect("step-0 platform solvable");
+    let mut previous: Option<PeriodicSchedule> = None;
+    let mut records = Vec::with_capacity(trace.len());
+    let mut warm_ms = 0.0f64;
+    let mut cold_ms = 0.0f64;
+    for step in 0..trace.len() {
+        let snapshot = trace.platform_at(step);
+        let source = trace.source_at(step);
+        let t = Instant::now();
+        let warm = if step == 0 {
+            session.solve_step(&snapshot).expect("warm step solvable")
+        } else {
+            session
+                .solve_step_churn(&snapshot, &trace.remap(step - 1, step))
+                .expect("warm churn step solvable")
+        };
+        let (schedule, report) = match &previous {
+            None => {
+                let s = synthesize_schedule(&snapshot, source, &warm.optimal, SLICE, &config)
+                    .expect("synthesis succeeds");
+                (s, Default::default())
+            }
+            Some(prev) => resynthesize_schedule_churn(
+                &snapshot,
+                source,
+                &warm.optimal,
+                SLICE,
+                &config,
+                prev,
+                &trace.remap(step - 1, step),
+            )
+            .expect("churn repair succeeds"),
+        };
+        if step > 0 {
+            warm_ms += t.elapsed().as_secs_f64() * 1000.0;
+        }
+        let t = Instant::now();
+        let cold = cut_gen::solve_with(
+            &snapshot,
+            source,
+            SLICE,
+            &CutGenOptions {
+                warm_start: false,
+                ..CutGenOptions::default()
+            },
+        )
+        .expect("cold step solvable");
+        let _cold_schedule = synthesize_schedule(&snapshot, source, &cold.optimal, SLICE, &config)
+            .expect("cold synthesis succeeds");
+        if step > 0 {
+            cold_ms += t.elapsed().as_secs_f64() * 1000.0;
+        }
+        let sim = simulate_schedule(&snapshot, &schedule, &spec);
+        records.push(ChurnStepRecord {
+            step,
+            tp: warm.optimal.throughput,
+            warm_pivots: warm.optimal.simplex_iterations,
+            cold_pivots: cold.optimal.simplex_iterations,
+            warm_rounds: warm.optimal.iterations,
+            cold_rounds: cold.optimal.iterations,
+            reused_cuts: warm.reused_cuts,
+            repair_ops: report.repair_ops(),
+            kept_trees: report.kept_trees,
+            grafted: report.grafted_nodes,
+            pruned: report.pruned_nodes,
             efficiency: schedule.efficiency(),
             sim_tp: sim.batch_throughput(schedule.slices_per_period()),
         });

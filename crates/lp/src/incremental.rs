@@ -43,6 +43,7 @@
 //! [`SimplexState::update_coeffs`] (base-row handles come from
 //! [`SimplexState::base_rows`]).
 
+use crate::basis::ScatterVec;
 use crate::model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
 use crate::simplex::{self, SimplexEngine, SimplexOptions, SolveStatus, Tableau};
 use crate::sparse::{self, SparseSimplex};
@@ -58,6 +59,46 @@ impl RowId {
     /// The raw row index (the value [`LpError::UnknownRow`] reports).
     pub fn index(self) -> usize {
         self.0
+    }
+}
+
+/// Stable handle of a structural column added to (or created with) a
+/// [`SimplexState`] — the column-side mirror of [`RowId`].
+///
+/// Column ids are never reused: deleting a column leaves a tombstone, so
+/// every handle (and every [`VarId`]) issued earlier keeps its meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColId(pub(crate) usize);
+
+impl ColId {
+    /// The raw column index (the value [`LpError::UnknownCol`] reports).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The [`VarId`] of this column, for referencing it in constraint terms
+    /// (appended rows, [`RowUpdate`]s) after the fact.
+    pub fn var(self) -> VarId {
+        VarId(self.0)
+    }
+}
+
+/// One structural column to append through [`SimplexState::add_cols`]: an
+/// objective coefficient plus sparse coefficients into *existing* rows
+/// (addressed by their [`RowId`] handles, exactly as issued).
+#[derive(Clone, Debug)]
+pub struct NewCol {
+    /// Objective coefficient of the new variable (original sense).
+    pub objective: f64,
+    /// Sparse coefficients into existing live rows. A row handle may appear
+    /// at most once; rows not listed get a zero coefficient.
+    pub terms: Vec<(RowId, f64)>,
+}
+
+impl NewCol {
+    /// Convenience constructor.
+    pub fn new(objective: f64, terms: Vec<(RowId, f64)>) -> Self {
+        NewCol { objective, terms }
     }
 }
 
@@ -82,6 +123,10 @@ pub struct IncrementalStats {
     pub rows_deleted: usize,
     /// Physical rows whose coefficients were edited in place.
     pub rows_updated: usize,
+    /// Structural columns appended after construction.
+    pub cols_added: usize,
+    /// Structural columns deleted (tombstoned).
+    pub cols_deleted: usize,
 }
 
 /// One stored (problem-form) row; kept so cold refactorizations can rebuild
@@ -197,6 +242,10 @@ pub struct SimplexState {
     rows: Vec<StoredRow>,
     /// Liveness per physical row (deleted rows stay in `rows` as tombstones).
     live: Vec<bool>,
+    /// Liveness per structural column, by [`ColId`] order of creation.
+    /// Deleted columns stay in `objective` as zero-cost tombstones so every
+    /// [`VarId`] keeps its index across any sequence of column edits.
+    cols_live: Vec<bool>,
     /// Physical rows of each [`RowId`] (an `=` append expands to two rows).
     groups: Vec<Vec<usize>>,
     /// Constraint operator each [`RowId`] was declared with (needed to
@@ -225,6 +274,7 @@ impl SimplexState {
             objective: problem.objective().to_vec(),
             rows: Vec::new(),
             live: Vec::new(),
+            cols_live: vec![true; problem.objective().len()],
             groups: Vec::new(),
             group_ops: Vec::new(),
             base_groups: 0,
@@ -253,9 +303,22 @@ impl SimplexState {
         (0..self.base_groups).map(RowId).collect()
     }
 
-    /// Number of structural variables (fixed at construction).
+    /// Number of structural variable slots (construction columns plus every
+    /// [`add_cols`](Self::add_cols) append; deleted columns keep their slot
+    /// as a tombstone so [`VarId`] indexing stays stable).
     pub fn num_vars(&self) -> usize {
         self.objective.len()
+    }
+
+    /// The column handle of a live variable. Construction-time columns were
+    /// never returned by [`add_cols`](Self::add_cols); this issues their
+    /// handles on demand (and re-issues appended ones). Deleted or unknown
+    /// variables are rejected with [`LpError::UnknownCol`].
+    pub fn col_id(&self, var: VarId) -> Result<ColId, LpError> {
+        if var.index() >= self.num_vars() || !self.cols_live[var.index()] {
+            return Err(LpError::UnknownCol(var.index()));
+        }
+        Ok(ColId(var.index()))
     }
 
     /// Number of live rows (physical; an appended `=` counts as two).
@@ -505,6 +568,231 @@ impl SimplexState {
         Ok(())
     }
 
+    /// Appends structural columns (new variables) and returns one handle per
+    /// column. The new variables enter **nonbasic at value zero**: every
+    /// existing basic value is unchanged, so a primal-feasible basis stays
+    /// primal feasible and the next [`resolve`](Self::resolve) merely prices
+    /// the new columns in (normally a short primal pass from the old
+    /// vertex). With a live factorization the system is re-derived from the
+    /// stored rows **in the current basis** — exactly like
+    /// [`update_coeffs`](Self::update_coeffs) — and anything the in-place
+    /// path cannot express falls back to an authoritative cold
+    /// refactorization, so adding columns can never change the verdict.
+    ///
+    /// The batch is **atomic**: every column is validated up front
+    /// ([`LpError::UnknownRow`] for a dead or foreign row handle,
+    /// [`LpError::NotFinite`] for non-finite data) before anything is
+    /// touched.
+    pub fn add_cols(&mut self, cols: &[NewCol]) -> Result<Vec<ColId>, LpError> {
+        for col in cols {
+            if !col.objective.is_finite() {
+                return Err(LpError::NotFinite);
+            }
+            for &(RowId(id), c) in &col.terms {
+                if id >= self.groups.len() || self.groups[id].iter().any(|&p| !self.live[p]) {
+                    return Err(LpError::UnknownRow(id));
+                }
+                if !c.is_finite() {
+                    return Err(LpError::NotFinite);
+                }
+            }
+        }
+        if cols.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n_old = self.objective.len();
+        let mut ids = Vec::with_capacity(cols.len());
+        for col in cols {
+            let var = VarId(self.objective.len());
+            ids.push(ColId(var.0));
+            self.objective.push(col.objective);
+            self.cols_live.push(true);
+            if let Some(sec) = self.secondary.as_mut() {
+                sec.push(0.0);
+            }
+            for &(RowId(id), c) in &col.terms {
+                for (slot, &p) in self.groups[id].clone().iter().enumerate() {
+                    // Base rows are stored verbatim; appended groups were
+                    // normalized to `≤` form (`≥` negated, `=` expanded to a
+                    // direct/negated pair). Mirror that normalization or the
+                    // stored rows would stop agreeing with `add_rows`.
+                    let sign = if id < self.base_groups {
+                        1.0
+                    } else {
+                        match self.group_ops[id] {
+                            ConstraintOp::Le => 1.0,
+                            ConstraintOp::Ge => -1.0,
+                            ConstraintOp::Eq => {
+                                if slot == 0 {
+                                    1.0
+                                } else {
+                                    -1.0
+                                }
+                            }
+                        }
+                    };
+                    self.rows[p].terms.push((var, sign * c));
+                }
+            }
+        }
+        self.stats.cols_added += cols.len();
+        let n_new = self.objective.len();
+        let k = n_new - n_old;
+        let sign = match self.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        match self.fact.as_mut() {
+            Some(Fact::Dense(fact)) => {
+                // Widen the structural block in place: every auxiliary
+                // column index shifts right by the number of new variables,
+                // then the tableau is re-derived from the stored rows in the
+                // index-shifted current basis.
+                for bc in fact.tab.basis.iter_mut() {
+                    if *bc >= n_old {
+                        *bc += k;
+                    }
+                }
+                for col in fact.slack_col.iter_mut().flatten() {
+                    if *col >= n_old {
+                        *col += k;
+                    }
+                }
+                for col in fact.art_col.iter_mut().flatten() {
+                    if *col >= n_old {
+                        *col += k;
+                    }
+                }
+                let aux_allowed = fact.tab.allowed.split_off(n_old);
+                fact.tab.allowed.extend(std::iter::repeat_n(true, k));
+                fact.tab.allowed.extend(aux_allowed);
+                fact.tab.cols += k;
+                fact.cost = vec![0.0; fact.tab.cols];
+                for (j, &c) in self.objective.iter().enumerate() {
+                    fact.cost[j] = sign * c;
+                }
+                if rebuild_in_basis(fact, &self.rows, &self.live, n_new, &self.options) {
+                    fact.stale = true;
+                } else {
+                    self.fact = None;
+                    self.stats.refactorizations += 1;
+                }
+            }
+            Some(Fact::Sparse(fact)) => {
+                if rebuild_sparse_grown(fact, &self.rows, &self.live, n_new) {
+                    fact.cost = vec![0.0; fact.sim.prob.ncols];
+                    for (j, &c) in self.objective.iter().enumerate() {
+                        fact.cost[j] = sign * c;
+                    }
+                    fact.stale = true;
+                } else {
+                    self.fact = None;
+                    self.stats.refactorizations += 1;
+                }
+            }
+            None => {}
+        }
+        Ok(ids)
+    }
+
+    /// Deletes the given columns, tombstoning their [`VarId`]s (indices are
+    /// never reused, so handles issued earlier keep their meaning). A column
+    /// that is **nonbasic** in the live factorization sits at value zero, so
+    /// removing it is exact and free; a **basic** column is driven out by
+    /// one forced pivot and the next [`resolve`](Self::resolve) repairs
+    /// whatever feasibility that pivot cost — the same bounded dual/primal
+    /// repair as after a coefficient update, with the cold refactorization
+    /// as the authoritative fallback, so deleting columns can never change
+    /// the verdict, only the pivot count.
+    ///
+    /// Unlike row deletion, deleting a column twice is an error: the batch
+    /// is **atomic**, and any unknown, already-deleted, or repeated
+    /// [`ColId`] is rejected up front with [`LpError::UnknownCol`] before
+    /// anything is touched.
+    pub fn delete_cols(&mut self, ids: &[ColId]) -> Result<(), LpError> {
+        for (i, &ColId(id)) in ids.iter().enumerate() {
+            if id >= self.objective.len() || !self.cols_live[id] || ids[..i].contains(&ColId(id)) {
+                return Err(LpError::UnknownCol(id));
+            }
+        }
+        if ids.is_empty() {
+            return Ok(());
+        }
+        for &ColId(id) in ids {
+            self.cols_live[id] = false;
+            self.objective[id] = 0.0;
+            if let Some(sec) = self.secondary.as_mut() {
+                sec[id] = 0.0;
+            }
+            for row in self.rows.iter_mut() {
+                row.terms.retain(|&(v, _)| v.index() != id);
+            }
+        }
+        self.stats.cols_deleted += ids.len();
+        let options = self.options;
+        let mut pivots = 0usize;
+        let mut ok = true;
+        match self.fact.as_mut() {
+            Some(Fact::Dense(fact)) => {
+                for &ColId(id) in ids {
+                    fact.cost[id] = 0.0;
+                    if let Some(r) = fact.tab.basis.iter().position(|&bc| bc == id) {
+                        // Drive the doomed column out: the largest-magnitude
+                        // eligible entry of its basis row enters in its
+                        // place. No eligible pivot means only a cold
+                        // refactorization can express the deletion.
+                        let mut entering: Option<usize> = None;
+                        let mut best = options.pivot_tolerance;
+                        for j in 0..fact.tab.cols {
+                            if j == id || !fact.tab.allowed[j] || fact.tab.basis.contains(&j) {
+                                continue;
+                            }
+                            let mag = fact.tab.at(r, j).abs();
+                            if mag > best {
+                                best = mag;
+                                entering = Some(j);
+                            }
+                        }
+                        let Some(q) = entering else {
+                            ok = false;
+                            break;
+                        };
+                        fact.tab.pivot(r, q);
+                        fact.tab.basis[r] = q;
+                        pivots += 1;
+                    }
+                    bar_column(&mut fact.tab, id);
+                }
+                if ok {
+                    fact.stale = true;
+                }
+            }
+            Some(Fact::Sparse(fact)) => {
+                for &ColId(id) in ids {
+                    fact.cost[id] = 0.0;
+                    let was_basic = fact.sim.prob.basis.contains(&id);
+                    if !fact.sim.delete_column(id, &options) {
+                        ok = false;
+                        break;
+                    }
+                    if was_basic {
+                        pivots += 1;
+                    }
+                }
+                if ok {
+                    fact.stale = true;
+                }
+            }
+            None => {}
+        }
+        self.stats.total_pivots += pivots;
+        if !ok {
+            self.fact = None;
+            self.stats.refactorizations += 1;
+        }
+        Ok(())
+    }
+
     /// Replaces the structural objective (one coefficient per variable, in
     /// the problem's original sense). The current basis stays primal
     /// feasible, so no repair is needed: the next
@@ -743,7 +1031,7 @@ impl SimplexState {
             return Err(LpError::NotFinite);
         }
         for &(v, c) in terms {
-            if v.index() >= self.num_vars() {
+            if v.index() >= self.num_vars() || !self.cols_live[v.index()] {
                 return Err(LpError::UnknownVariable(v));
             }
             if !c.is_finite() {
@@ -1169,6 +1457,105 @@ fn bar_column(tab: &mut Tableau, col: usize) {
     for r in 0..tab.rows {
         tab.a[r * tab.cols + col] = 0.0;
     }
+}
+
+/// Sparse analogue of [`rebuild_in_basis`] for a *grown* variable space:
+/// re-derives the whole sparse problem from the stored rows with `n`
+/// structural columns — old structural columns keep their indices, every
+/// auxiliary column shifts right by the growth — while keeping the current
+/// basis (the new columns enter nonbasic, so the basic values are
+/// unchanged). Returns `false` when the system cannot adopt the old basis
+/// (a live row carrying an artificial, or a row shape the slack-form
+/// rebuild cannot express), in which case the caller refactorizes cold.
+fn rebuild_sparse_grown(
+    fact: &mut SparseFact,
+    rows: &[StoredRow],
+    live: &[bool],
+    n: usize,
+) -> bool {
+    let n_old = fact.sim.prob.n_struct;
+    debug_assert!(n >= n_old);
+    let k = n - n_old;
+    let m = fact.sim.prob.m;
+    let live_rows: Vec<usize> = (0..rows.len()).filter(|&p| live[p]).collect();
+    if live_rows.len() != m {
+        return false;
+    }
+    // Same acceptance rule as the in-place rewrite: every live row must be a
+    // plain slack-form row in the orientation it was assembled with.
+    for &p in &live_rows {
+        if fact.slack_col[p].is_none() || fact.art_col[p].is_some() || fact.row_of[p].is_none() {
+            return false;
+        }
+        match rows[p].op {
+            ConstraintOp::Le => {}
+            ConstraintOp::Ge if rows[p].rhs <= 0.0 => {}
+            _ => return false,
+        }
+    }
+    let shift = |c: usize| if c >= n_old { c + k } else { c };
+    let old = &fact.sim.prob;
+    let ncols = old.ncols + k;
+    let mut allowed = Vec::with_capacity(ncols);
+    allowed.extend_from_slice(&old.allowed[..n_old]);
+    allowed.extend(std::iter::repeat_n(true, k));
+    allowed.extend_from_slice(&old.allowed[n_old..]);
+    let basis: Vec<usize> = old.basis.iter().map(|&bc| shift(bc)).collect();
+    if basis.iter().any(|&bc| bc >= ncols || !allowed[bc]) {
+        return false;
+    }
+    let artificial_cols: Vec<usize> = old.artificial_cols.iter().map(|&c| shift(c)).collect();
+    let prob_slack_col: Vec<Option<usize>> = old.slack_col.iter().map(|o| o.map(shift)).collect();
+    let prob_art_col: Vec<Option<usize>> = old.art_col.iter().map(|o| o.map(shift)).collect();
+    // Rebuild the rows in their current assembled order, each with the same
+    // (shifted) slack column it was introduced with.
+    let mut pos_to_p = vec![usize::MAX; m];
+    for &p in &live_rows {
+        pos_to_p[fact.row_of[p].expect("checked above")] = p;
+    }
+    let mut scratch = ScatterVec::default();
+    let mut row_nz = Vec::with_capacity(m);
+    let mut b = Vec::with_capacity(m);
+    for &p in &pos_to_p {
+        let sign = match rows[p].op {
+            ConstraintOp::Le => 1.0,
+            ConstraintOp::Ge => -1.0,
+            ConstraintOp::Eq => unreachable!("rejected above"),
+        };
+        let mut rhs = sign * rows[p].rhs;
+        let mut row = sparse::build_structural_row(n, &rows[p].terms, sign, &mut rhs, &mut scratch);
+        let slack = shift(fact.slack_col[p].expect("checked above"));
+        row.push((slack as u32, 1.0));
+        row_nz.push(row);
+        b.push(rhs);
+    }
+    let mut prob = sparse::SparseProblem {
+        m,
+        n_struct: n,
+        ncols,
+        row_nz,
+        col_nz: vec![Vec::new(); ncols],
+        b,
+        allowed,
+        basis,
+        artificial_cols,
+        slack_col: prob_slack_col,
+        art_col: prob_art_col,
+        cols_stale: false,
+    };
+    prob.rebuild_cols();
+    fact.sim = SparseSimplex::new(prob);
+    for col in fact.slack_col.iter_mut().flatten() {
+        if *col >= n_old {
+            *col += k;
+        }
+    }
+    for col in fact.art_col.iter_mut().flatten() {
+        if *col >= n_old {
+            *col += k;
+        }
+    }
+    true
 }
 
 /// Sparse analogue of [`remove_physical_row`]: the same non-binding test
@@ -1705,6 +2092,240 @@ mod tests {
             warm.objective,
             state.to_problem().solve().unwrap().objective,
         );
+    }
+
+    fn for_both_engines(test: impl Fn(SimplexOptions)) {
+        for engine in [SimplexEngine::Dense, SimplexEngine::Sparse] {
+            test(SimplexOptions {
+                engine,
+                ..SimplexOptions::default()
+            });
+        }
+    }
+
+    #[test]
+    fn appended_column_is_priced_in_warm() {
+        for_both_engines(|options| {
+            let (lp, _, _) = base_problem();
+            let mut state = SimplexState::new(&lp, options).unwrap();
+            state.solve().unwrap();
+            let rows = state.base_rows();
+            // A profitable new activity consuming the binding row's capacity.
+            let cols = state
+                .add_cols(&[NewCol::new(4.0, vec![(rows[2], 2.0)])])
+                .unwrap();
+            assert_eq!(cols.len(), 1);
+            let warm = state.resolve().unwrap();
+            let cold = state.to_problem().solve().unwrap();
+            assert_close(warm.objective, cold.objective);
+            assert_eq!(state.stats().cold_solves, 1, "column append went cold");
+            // The new variable is addressable in later rows.
+            state
+                .add_row(&[(cols[0].var(), 1.0)], ConstraintOp::Le, 1.0)
+                .unwrap();
+            let warm = state.resolve().unwrap();
+            assert_close(
+                warm.objective,
+                state.to_problem().solve().unwrap().objective,
+            );
+        });
+    }
+
+    #[test]
+    fn unprofitable_appended_column_costs_nothing() {
+        for_both_engines(|options| {
+            let (lp, _, _) = base_problem();
+            let mut state = SimplexState::new(&lp, options).unwrap();
+            state.solve().unwrap();
+            let rows = state.base_rows();
+            let pivots_before = state.stats().total_pivots;
+            state
+                .add_cols(&[NewCol::new(-1.0, vec![(rows[0], 1.0)])])
+                .unwrap();
+            let warm = state.resolve().unwrap();
+            assert_close(warm.objective, 36.0);
+            assert_eq!(state.stats().total_pivots, pivots_before);
+            assert_eq!(state.stats().cold_solves, 1);
+        });
+    }
+
+    #[test]
+    fn deleting_a_nonbasic_column_is_free_and_a_basic_one_is_driven_out() {
+        for_both_engines(|options| {
+            let mut lp = LpProblem::new(Sense::Maximize);
+            let x = lp.add_var("x", 3.0);
+            let y = lp.add_var("y", 5.0);
+            let z = lp.add_var("z", 0.1); // never worth using: nonbasic at opt
+            lp.add_le(&[(x, 1.0)], 4.0);
+            lp.add_le(&[(y, 2.0)], 12.0);
+            lp.add_le(&[(x, 3.0), (y, 2.0), (z, 5.0)], 18.0);
+            let mut state = SimplexState::new(&lp, options).unwrap();
+            state.solve().unwrap();
+            // z is nonbasic: deletion must not refactorize or pivot.
+            let pivots_before = state.stats().total_pivots;
+            state.delete_cols(&[ColId(z.index())]).unwrap();
+            let warm = state.resolve().unwrap();
+            assert_close(warm.objective, 36.0);
+            assert_eq!(state.stats().total_pivots, pivots_before);
+            assert_eq!(state.stats().refactorizations, 0);
+            // x is basic at (2, 6): deletion drives it out and repairs.
+            state.delete_cols(&[ColId(x.index())]).unwrap();
+            let warm = state.resolve().unwrap();
+            let cold = state.to_problem().solve().unwrap();
+            assert_close(warm.objective, cold.objective);
+            assert_close(warm.objective, 30.0); // max 5y, 2y ≤ 12
+            assert_close(warm.value(x), 0.0);
+            assert_eq!(state.stats().cols_deleted, 2);
+        });
+    }
+
+    #[test]
+    fn column_edits_keep_varid_indexing_stable() {
+        for_both_engines(|options| {
+            let (lp, x, y) = base_problem();
+            let mut state = SimplexState::new(&lp, options).unwrap();
+            state.solve().unwrap();
+            let rows = state.base_rows();
+            let added = state
+                .add_cols(&[NewCol::new(1.0, vec![(rows[0], 1.0)])])
+                .unwrap();
+            state.delete_cols(&[ColId(x.index())]).unwrap();
+            // The tombstone keeps y and the appended column at their indices.
+            assert_eq!(added[0].var(), VarId(2));
+            let warm = state.resolve().unwrap();
+            let cold = state.to_problem().solve().unwrap();
+            assert_close(warm.objective, cold.objective);
+            assert_close(warm.value(y), cold.value(y));
+            assert_close(warm.value(added[0].var()), cold.value(added[0].var()));
+            // Referencing the deleted variable in new data is rejected.
+            assert_eq!(
+                state
+                    .add_row(&[(x, 1.0)], ConstraintOp::Le, 1.0)
+                    .unwrap_err(),
+                LpError::UnknownVariable(x)
+            );
+        });
+    }
+
+    #[test]
+    fn unknown_column_deletes_are_atomic() {
+        for_both_engines(|options| {
+            let (lp, x, _) = base_problem();
+            let mut state = SimplexState::new(&lp, options).unwrap();
+            state.solve().unwrap();
+            let before = state.resolve().unwrap().objective;
+            // Never-issued handle.
+            let err = state
+                .delete_cols(&[ColId(x.index()), ColId(999)])
+                .unwrap_err();
+            assert_eq!(err, LpError::UnknownCol(999));
+            // A repeated handle within one batch is as bad.
+            let err = state
+                .delete_cols(&[ColId(x.index()), ColId(x.index())])
+                .unwrap_err();
+            assert_eq!(err, LpError::UnknownCol(x.index()));
+            assert_eq!(state.stats().cols_deleted, 0);
+            assert_close(state.resolve().unwrap().objective, before);
+            // An already-deleted handle is as unknown as a foreign one.
+            state.delete_cols(&[ColId(x.index())]).unwrap();
+            let err = state.delete_cols(&[ColId(x.index())]).unwrap_err();
+            assert_eq!(err, LpError::UnknownCol(x.index()));
+        });
+    }
+
+    #[test]
+    fn add_cols_validates_handles_and_data_atomically() {
+        for_both_engines(|options| {
+            let (lp, _, _) = base_problem();
+            let mut state = SimplexState::new(&lp, options).unwrap();
+            state.solve().unwrap();
+            let rows = state.base_rows();
+            let err = state
+                .add_cols(&[NewCol::new(1.0, vec![(RowId(77), 1.0)])])
+                .unwrap_err();
+            assert_eq!(err, LpError::UnknownRow(77));
+            let err = state
+                .add_cols(&[NewCol::new(f64::NAN, vec![])])
+                .unwrap_err();
+            assert_eq!(err, LpError::NotFinite);
+            let err = state
+                .add_cols(&[NewCol::new(1.0, vec![(rows[0], f64::INFINITY)])])
+                .unwrap_err();
+            assert_eq!(err, LpError::NotFinite);
+            assert_eq!(state.stats().cols_added, 0);
+            assert_eq!(state.num_vars(), 2);
+            assert_close(state.resolve().unwrap().objective, 36.0);
+        });
+    }
+
+    #[test]
+    fn columns_into_appended_ge_and_eq_rows_keep_their_normalization() {
+        for_both_engines(|options| {
+            let (lp, x, y) = base_problem();
+            let mut state = SimplexState::new(&lp, options).unwrap();
+            state.solve().unwrap();
+            let ge = state
+                .add_row(&[(x, 1.0), (y, -1.0)], ConstraintOp::Ge, -10.0)
+                .unwrap();
+            let eq = state.add_row(&[(x, 1.0)], ConstraintOp::Eq, 2.0).unwrap();
+            state.resolve().unwrap();
+            // A column with coefficients in the `≥` row and the `=` pair:
+            // the stored (negated) physical rows must see mirrored signs.
+            state
+                .add_cols(&[NewCol::new(2.0, vec![(ge, 1.0), (eq, 1.0)])])
+                .unwrap();
+            let warm = state.resolve().unwrap();
+            let cold = state.to_problem().solve().unwrap();
+            assert_close(warm.objective, cold.objective);
+        });
+    }
+
+    #[test]
+    fn column_and_row_edits_compose() {
+        for_both_engines(|options| {
+            let (lp, x, y) = base_problem();
+            let mut state = SimplexState::new(&lp, options).unwrap();
+            state.solve().unwrap();
+            let rows = state.base_rows();
+            let cols = state
+                .add_cols(&[
+                    NewCol::new(4.0, vec![(rows[2], 2.0)]),
+                    NewCol::new(1.0, vec![(rows[0], 1.0), (rows[1], 1.0)]),
+                ])
+                .unwrap();
+            assert_close(
+                state.resolve().unwrap().objective,
+                state.to_problem().solve().unwrap().objective,
+            );
+            let cut = state
+                .add_row(&[(x, 1.0), (cols[0].var(), 1.0)], ConstraintOp::Le, 3.0)
+                .unwrap();
+            assert_close(
+                state.resolve().unwrap().objective,
+                state.to_problem().solve().unwrap().objective,
+            );
+            state
+                .update_coeffs(&[RowUpdate::new(
+                    cut,
+                    vec![(y, 1.0), (cols[1].var(), 2.0)],
+                    4.0,
+                )])
+                .unwrap();
+            assert_close(
+                state.resolve().unwrap().objective,
+                state.to_problem().solve().unwrap().objective,
+            );
+            state.delete_cols(&[cols[0]]).unwrap();
+            assert_close(
+                state.resolve().unwrap().objective,
+                state.to_problem().solve().unwrap().objective,
+            );
+            state.delete_rows(&[cut]).unwrap();
+            assert_close(
+                state.resolve().unwrap().objective,
+                state.to_problem().solve().unwrap().objective,
+            );
+        });
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub enum LpError {
     /// A row handle passed to the incremental solver was never issued by it
     /// (carries the raw row index).
     UnknownRow(usize),
+    /// A column handle passed to the incremental solver was never issued by
+    /// it, or refers to a column already deleted (carries the raw index).
+    UnknownCol(usize),
     /// A coefficient or right-hand side was not finite.
     NotFinite,
 }
@@ -85,6 +88,7 @@ impl fmt::Display for LpError {
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             LpError::UnknownVariable(v) => write!(f, "unknown variable x{}", v.0),
             LpError::UnknownRow(r) => write!(f, "unknown row handle #{r}"),
+            LpError::UnknownCol(c) => write!(f, "unknown column handle #{c}"),
             LpError::NotFinite => write!(f, "non-finite coefficient in the model"),
         }
     }

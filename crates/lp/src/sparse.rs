@@ -83,7 +83,7 @@ impl SparseProblem {
 /// Sums sparse `(var, coeff)` terms into dense-indexed structural values,
 /// applies the row-equilibration rule shared with the dense assembly, and
 /// returns the surviving nonzeros (exact zeros are dropped).
-fn build_structural_row(
+pub(crate) fn build_structural_row(
     n: usize,
     terms: &[(crate::model::VarId, f64)],
     sign: f64,
@@ -1023,6 +1023,50 @@ impl SparseSimplex {
     pub(crate) fn refactor_same_basis(&mut self, options: &SimplexOptions) -> bool {
         self.prob.rebuild_cols();
         self.factorize(options)
+    }
+
+    /// Deletes structural column `col` from the live system. A nonbasic
+    /// column sits at value zero, so barring it is exact and free. A basic
+    /// column is driven out with one forced pivot — the largest-magnitude
+    /// eligible entry of its basis row enters in its place — which may cost
+    /// primal or dual feasibility; the caller repairs that on the next
+    /// re-solve. Returns `false` when no eligible pivot exists (the caller
+    /// must refactorize cold).
+    pub(crate) fn delete_column(&mut self, col: usize, options: &SimplexOptions) -> bool {
+        if self.prob.cols_stale {
+            self.prob.rebuild_cols();
+        }
+        let Some(r) = self.prob.basis.iter().position(|&bc| bc == col) else {
+            self.bar_column(col);
+            return true;
+        };
+        if !self.factorized && !self.factorize(options) {
+            return false;
+        }
+        self.compute_tab_row(r);
+        let mut entering: Option<usize> = None;
+        let mut best = options.pivot_tolerance;
+        for &j in self.ws_tab.support() {
+            let j = j as usize;
+            if j == col || !self.prob.allowed[j] || self.in_basis[j] {
+                continue;
+            }
+            let mag = self.ws_tab.get(j as u32).abs();
+            if mag > best {
+                best = mag;
+                entering = Some(j);
+            }
+        }
+        let Some(q) = entering else {
+            return false;
+        };
+        self.ftran_column(q);
+        if self.ws_ftran.get(r as u32).abs() <= options.pivot_tolerance {
+            return false;
+        }
+        self.apply_pivot(q, r);
+        self.bar_column(col);
+        true
     }
 }
 

@@ -3,8 +3,8 @@
 
 use crate::incremental::RowUpdate;
 use crate::{
-    ConstraintOp, LpError, LpProblem, RowId, Sense, SimplexEngine, SimplexOptions, SimplexState,
-    VarId,
+    ColId, ConstraintOp, LpError, LpProblem, NewCol, RowId, Sense, SimplexEngine, SimplexOptions,
+    SimplexState, VarId,
 };
 use proptest::prelude::*;
 
@@ -57,6 +57,103 @@ fn build(lp: &PackingLp) -> (LpProblem, Vec<VarId>) {
         problem.add_le(&[(*v, 1.0)], b);
     }
     (problem, vars)
+}
+
+/// One step of the column/row churn walk, as plain generated data:
+/// `(kind, pick, coeff, rhs)` where `kind` selects the operation
+/// (0 = add column, 1 = delete column, 2 = append row, 3 = rewrite row) and
+/// the rest parameterise it.
+type ChurnOp = (u8, usize, f64, f64);
+
+fn churn_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
+    proptest::collection::vec((0u8..4, 0usize..64, 0.1f64..3.0, 0.0f64..6.0), 4..12)
+}
+
+/// Replays `ops` against one warm state, re-solving and differencing
+/// against a cold solve of the materialised problem after every operation.
+///
+/// Boundedness/feasibility invariant: a protected base row caps the sum of
+/// every column — present and future — at 100 (each appended column carries
+/// a positive coefficient there), and every row of the walk is `≤` with a
+/// non-negative rhs, so `x = 0` stays feasible and the walk can never make
+/// the LP unbounded or infeasible.
+fn churn_walk(options: SimplexOptions, lp: &PackingLp, ops: &[ChurnOp]) {
+    let (mut problem, vars) = build(lp);
+    let all: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+    problem.add_le(&all, 100.0);
+    let mut warm = SimplexState::new(&problem, options).expect("valid base");
+    warm.solve().expect("base solvable");
+    let protect = *warm.base_rows().last().expect("protected row exists");
+    let mut live_vars: Vec<VarId> = vars;
+    let mut appended_cols: Vec<ColId> = Vec::new();
+    let mut appended_rows: Vec<RowId> = Vec::new();
+    for &(kind, pick, coeff, rhs) in ops {
+        match kind {
+            // Append a profitable column, sometimes with a term in an
+            // appended cut row (signed: `rhs − 3 ∈ [−3, 3)`).
+            0 => {
+                let mut terms = vec![(protect, coeff)];
+                if !appended_rows.is_empty() {
+                    terms.push((appended_rows[pick % appended_rows.len()], rhs - 3.0));
+                }
+                let cols = warm
+                    .add_cols(&[NewCol::new(coeff + rhs, terms)])
+                    .expect("valid column");
+                live_vars.push(cols[0].var());
+                appended_cols.push(cols[0]);
+            }
+            // Delete an appended column — possibly one the basis uses.
+            1 if !appended_cols.is_empty() => {
+                let col = appended_cols.swap_remove(pick % appended_cols.len());
+                let var = col.var();
+                warm.delete_cols(&[col]).expect("live handle");
+                live_vars.retain(|&v| v != var);
+            }
+            // Append a `≤` row over a subset of the live columns.
+            2 => {
+                let terms: Vec<(VarId, f64)> = live_vars
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| (j + pick) % 3 != 0)
+                    .map(|(j, &v)| (v, coeff * ((j % 4) as f64 + 0.5)))
+                    .collect();
+                if !terms.is_empty() {
+                    appended_rows.push(
+                        warm.add_row(&terms, ConstraintOp::Le, rhs)
+                            .expect("valid row"),
+                    );
+                }
+            }
+            // Rewrite an appended row in place (signed coefficients).
+            3 if !appended_rows.is_empty() => {
+                let row = appended_rows[pick % appended_rows.len()];
+                let terms: Vec<(VarId, f64)> = live_vars
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v, coeff - (j % 3) as f64))
+                    .collect();
+                warm.update_coeffs(&[RowUpdate::new(row, terms, rhs)])
+                    .expect("valid update");
+            }
+            _ => continue,
+        }
+        let w = warm.resolve().expect("churn keeps the LP solvable");
+        let cold_problem = warm.to_problem();
+        let c = cold_problem
+            .solve_with(&options)
+            .expect("cold agrees on solvability");
+        prop_assert!(
+            (w.objective - c.objective).abs() <= 1e-9 * c.objective.abs().max(1.0),
+            "churn op {kind}: warm {} vs cold {}",
+            w.objective,
+            c.objective
+        );
+        prop_assert!(
+            cold_problem.max_violation(&w.values) < 1e-6,
+            "warm point infeasible after churn op {kind} (violation {})",
+            cold_problem.max_violation(&w.values)
+        );
+    }
 }
 
 proptest! {
@@ -374,6 +471,73 @@ proptest! {
             problem.solve_with(&dense_options()).unwrap_err(),
             LpError::Infeasible
         );
+    }
+
+    /// Random interleavings of `add_cols` / `delete_cols` / `add_row` /
+    /// `update_coeffs` keep the warm state equal to a cold solve of the
+    /// materialised problem at 1e-9 relative after **every** operation, on
+    /// both engines — the node-churn substrate of the dynamic-platform
+    /// pipeline.
+    #[test]
+    fn column_churn_interleavings_keep_warm_equal_to_cold(
+        lp in packing_strategy(),
+        ops in churn_ops(),
+    ) {
+        churn_walk(dense_options(), &lp, &ops);
+        churn_walk(SimplexOptions::default(), &lp, &ops);
+    }
+
+    /// Deleting an unknown or already-deleted column handle fails atomically
+    /// with `LpError::UnknownCol`: nothing in the batch is applied, live
+    /// handles in the same batch survive, and the state keeps solving to
+    /// the cold optimum.
+    #[test]
+    fn deleting_unknown_columns_fails_atomically(
+        lp in packing_strategy(),
+        bogus in 1000usize..2000,
+        obj in 0.5f64..4.0,
+    ) {
+        for options in [dense_options(), SimplexOptions::default()] {
+            let (mut problem, vars) = build(&lp);
+            let all: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+            problem.add_le(&all, 100.0);
+            let mut warm = SimplexState::new(&problem, options).expect("valid base");
+            let before = warm.solve().expect("base solvable").objective;
+            let protect = *warm.base_rows().last().expect("protected row exists");
+            // Never-issued handle.
+            prop_assert_eq!(
+                warm.delete_cols(&[ColId(bogus)]).unwrap_err(),
+                LpError::UnknownCol(bogus)
+            );
+            // A batch mixing a live handle with a bogus one deletes nothing.
+            let cols = warm
+                .add_cols(&[NewCol::new(obj, vec![(protect, 1.0)])])
+                .expect("valid column");
+            warm.resolve().expect("solvable with the new column");
+            prop_assert_eq!(
+                warm.delete_cols(&[cols[0], ColId(bogus)]).unwrap_err(),
+                LpError::UnknownCol(bogus)
+            );
+            let with_col = warm.resolve().expect("column survived").objective;
+            let cold_problem = warm.to_problem();
+            let cold = cold_problem.solve_with(&options).expect("cold agrees").objective;
+            prop_assert!(
+                (with_col - cold).abs() <= 1e-9 * cold.abs().max(1.0),
+                "failed batch changed the state: warm {with_col} vs cold {cold}"
+            );
+            // Deleting twice: the second attempt is rejected and the
+            // restored base optimum is intact.
+            warm.delete_cols(&[cols[0]]).expect("live handle");
+            prop_assert_eq!(
+                warm.delete_cols(&[cols[0]]).unwrap_err(),
+                LpError::UnknownCol(cols[0].index())
+            );
+            let after = warm.resolve().expect("solvable").objective;
+            prop_assert!(
+                (after - before).abs() <= 1e-6 * before.abs().max(1.0),
+                "restored {after} vs base {before}"
+            );
+        }
     }
 
     /// Scaling every coefficient of the objective scales the optimum.

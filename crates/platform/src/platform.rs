@@ -31,6 +31,12 @@ impl Platform {
         PlatformBuilder::new()
     }
 
+    /// Wraps an already-built graph (crate-internal: used by drift traces
+    /// that grow a platform by node churn).
+    pub(crate) fn from_graph(graph: DiGraph<Processor, LinkCost>) -> Platform {
+        Platform { graph }
+    }
+
     /// Number of processors.
     pub fn node_count(&self) -> usize {
         self.graph.node_count()

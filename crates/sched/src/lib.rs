@@ -45,6 +45,7 @@ pub use schedule::{PeriodicSchedule, ScheduleRound, ScheduledTransfer};
 
 use bcast_core::{BroadcastStructure, OptimalThroughput};
 use bcast_net::{EdgeId, NodeId};
+use bcast_platform::drift::ChurnRemap;
 use bcast_platform::{CommModel, Platform};
 
 /// Options of [`synthesize_schedule`].
@@ -232,6 +233,13 @@ pub struct RepairReport {
     /// residual packing failed, or there was no usable previous schedule)
     /// and the schedule was synthesized from scratch.
     pub full_rebuild: bool,
+    /// Joining nodes grafted onto the kept trees by the churn repair path
+    /// (see [`resynthesize_schedule_churn`]); counted once per node, not
+    /// once per tree. Zero for cost-only repairs and full rebuilds.
+    pub grafted_nodes: usize,
+    /// Leaving nodes pruned out of the previous period's trees by the churn
+    /// repair path. Zero for cost-only repairs and full rebuilds.
+    pub pruned_nodes: usize,
 }
 
 impl RepairReport {
@@ -293,9 +301,9 @@ pub fn resynthesize_schedule(
         |platform: &Platform| -> Result<(PeriodicSchedule, RepairReport), SchedError> {
             let schedule = synthesize_schedule(platform, source, optimal, slice_size, config)?;
             let report = RepairReport {
-                kept_trees: 0,
                 rebuilt_trees: schedule.slices_per_period(),
                 full_rebuild: true,
+                ..RepairReport::default()
             };
             Ok((schedule, report))
         };
@@ -355,6 +363,7 @@ pub fn resynthesize_schedule(
         kept_trees: kept.len(),
         rebuilt_trees: missing,
         full_rebuild: false,
+        ..RepairReport::default()
     };
     // Grandfather the kept trees' capacity: the multiplicity vector is the
     // schedule's bookkeeping bound (validate: usage ≤ multiplicity), and a
@@ -406,6 +415,323 @@ pub fn resynthesize_schedule(
         }
     }
     Ok((schedule, report))
+}
+
+/// Re-synthesizes a periodic schedule after **node churn**: the platform
+/// gained and/or lost processors, and `remap` (from
+/// [`DriftTrace::remap`](bcast_platform::drift::DriftTrace::remap)) says how
+/// the previous snapshot's compact ids map onto the new one.
+///
+/// Where [`resynthesize_schedule`] repairs a period whose *costs* drifted,
+/// this entry point repairs a period whose *node set* changed:
+///
+/// 1. every previous tree is translated edge-by-edge through
+///    `remap.edge_map`; edges of leaving nodes (and freshly failed /
+///    dominated links) drop out, **pruning** the leavers while keeping the
+///    orphaned subtrees intact;
+/// 2. each orphaned subtree root and each joining node is **grafted** back
+///    under the cheapest serviceable parent — candidate in-edges from the
+///    already-connected part, ranked by link time inflated by the parent's
+///    current fan-out in that tree (the one-port budget pressure: a parent
+///    already feeding `k` children serialises, so its next child costs
+///    `(k+1)·T`);
+/// 3. a tree that cannot be reconnected through serviceable links is
+///    surrendered to the residual re-pack, exactly like a failed tree in
+///    cost-only repair.
+///
+/// The same guards apply as for [`resynthesize_schedule`]: unusable previous
+/// schedules, failed residual packings, and repairs below
+/// [`REPAIR_EFFICIENCY_FLOOR`] of the LP bound fall back to a full
+/// [`synthesize_schedule`], so the returned schedule is always valid for the
+/// *new* platform. An identity `remap` delegates to
+/// [`resynthesize_schedule`] unchanged.
+///
+/// `platform`, `source`, and `optimal` all live in the **new** snapshot's
+/// compact id space; `previous` lives in the old one.
+pub fn resynthesize_schedule_churn(
+    platform: &Platform,
+    source: NodeId,
+    optimal: &OptimalThroughput,
+    slice_size: f64,
+    config: &SynthesisConfig,
+    previous: &PeriodicSchedule,
+    remap: &ChurnRemap,
+) -> Result<(PeriodicSchedule, RepairReport), SchedError> {
+    assert_eq!(
+        platform.node_count(),
+        remap.nodes,
+        "remap must target the snapshot's topology"
+    );
+    assert_eq!(
+        platform.edge_count(),
+        remap.edges,
+        "remap must target the snapshot's topology"
+    );
+    if remap.is_identity() {
+        return resynthesize_schedule(platform, source, optimal, slice_size, config, previous);
+    }
+    let full_rebuild =
+        |platform: &Platform| -> Result<(PeriodicSchedule, RepairReport), SchedError> {
+            let schedule = synthesize_schedule(platform, source, optimal, slice_size, config)?;
+            let report = RepairReport {
+                rebuilt_trees: schedule.slices_per_period(),
+                full_rebuild: true,
+                ..RepairReport::default()
+            };
+            Ok((schedule, report))
+        };
+    let batch = previous.slices_per_period();
+    let n = platform.node_count();
+    let old_n = remap.node_map.len();
+    let old_m = remap.edge_map.len();
+    let usable = n > 1
+        && batch > 0
+        && previous.source().index() < old_n
+        && remap.node_map[previous.source().index()] == Some(source)
+        && previous.trees().len() == batch
+        && previous
+            .trees()
+            .iter()
+            .all(|t| t.len() == old_n - 1 && t.iter().all(|e| e.index() < old_m));
+    if !usable {
+        return full_rebuild(platform);
+    }
+    if matches!(config.model, CommModel::OnePortUnidirectional) {
+        return Err(SchedError::UnsupportedModel);
+    }
+    if !platform.is_broadcast_feasible(source) {
+        return Err(SchedError::Unreachable { source });
+    }
+    if !(optimal.throughput.is_finite() && optimal.throughput > 0.0) {
+        return Err(SchedError::NonPositiveThroughput);
+    }
+    let rounding_config = RoundingConfig {
+        slices_per_period: Some(batch),
+        ..config.rounding
+    };
+    let mut rounded = round_loads(
+        platform,
+        source,
+        &optimal.edge_load,
+        optimal.throughput,
+        slice_size,
+        &rounding_config,
+    )?;
+    let mut used = vec![0u32; platform.edge_count()];
+    let mut kept: Vec<Vec<EdgeId>> = Vec::with_capacity(batch);
+    // Port busy time accumulated across the whole period so far: the graft
+    // cost model, so successive trees spread their grafts over parents
+    // instead of serialising on one port.
+    let mut out_load = vec![0.0f64; n];
+    let mut in_load = vec![0.0f64; n];
+    for tree in previous.trees() {
+        if let Some(repaired) = regraft_tree(
+            platform,
+            source,
+            remap,
+            &rounded.dominated,
+            slice_size,
+            tree,
+            &out_load,
+            &in_load,
+        ) {
+            for &e in &repaired {
+                used[e.index()] += 1;
+                let (u, v) = platform.graph().endpoints(e);
+                let time = platform.link_time(e, slice_size);
+                out_load[u.index()] += time;
+                in_load[v.index()] += time;
+            }
+            kept.push(repaired);
+        }
+    }
+    let missing = batch - kept.len();
+    let report = RepairReport {
+        kept_trees: kept.len(),
+        rebuilt_trees: missing,
+        full_rebuild: false,
+        grafted_nodes: remap.new_nodes.len(),
+        pruned_nodes: remap.node_map.iter().filter(|m| m.is_none()).count(),
+    };
+    // Grandfather the repaired trees' capacity, as in cost-only repair.
+    for (mult, &usage) in rounded.multiplicity.iter_mut().zip(&used) {
+        *mult = (*mult).max(usage);
+    }
+    let mut trees = kept;
+    if missing > 0 {
+        let residual: Vec<u32> = rounded
+            .multiplicity
+            .iter()
+            .zip(&used)
+            .map(|(&cap, &u)| cap - u)
+            .collect();
+        match pack_arborescences(platform, source, &residual, missing) {
+            Ok(rebuilt) => trees.extend(rebuilt),
+            Err(_) => {
+                return full_rebuild(platform);
+            }
+        }
+    }
+    let schedule = schedule::assemble(
+        platform,
+        source,
+        config.model,
+        slice_size,
+        optimal.throughput,
+        rounded,
+        trees,
+    );
+    debug_assert!(schedule.validate(platform).is_ok());
+    if schedule.efficiency() < REPAIR_EFFICIENCY_FLOOR {
+        let (fresh, fresh_report) = full_rebuild(platform)?;
+        if fresh.efficiency() > schedule.efficiency() + 1e-12 {
+            return Ok((fresh, fresh_report));
+        }
+    }
+    Ok((schedule, report))
+}
+
+/// Translates one previous-period tree into the new id space and
+/// reconnects it into a spanning arborescence of the new platform.
+///
+/// Kept edges are the surviving, still-serviceable images of the old tree's
+/// edges; everything the churn disconnected (joining nodes, subtrees whose
+/// parent edge died) is grafted back greedily: among all serviceable edges
+/// from the connected part to a disconnected node, pick the one minimising
+/// the resulting one-port busy time `max(out_load(u) + T_e, in_load(v) +
+/// T_e)`, where the loads accumulate over the *whole period* (`out_load` /
+/// `in_load` carry the trees already repaired; this tree's kept and grafted
+/// edges are added on top) — that is the port budget: grafting under an
+/// already-busy parent costs its whole backlog. Ties break on edge id for
+/// determinism.
+///
+/// Returns the tree's edges in parent-before-child order (as the assembler
+/// requires), or `None` when the connected part cannot reach every node
+/// through serviceable links (the caller re-packs such trees from the
+/// residual capacities instead).
+#[allow(clippy::too_many_arguments)]
+fn regraft_tree(
+    platform: &Platform,
+    source: NodeId,
+    remap: &ChurnRemap,
+    dominated: &[bool],
+    slice_size: f64,
+    tree: &[EdgeId],
+    out_load: &[f64],
+    in_load: &[f64],
+) -> Option<Vec<EdgeId>> {
+    let graph = platform.graph();
+    let n = platform.node_count();
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    for &old in tree {
+        let Some(e) = remap.edge_map[old.index()] else {
+            continue;
+        };
+        if dominated[e.index()] {
+            continue;
+        }
+        let dst = graph.dst(e);
+        debug_assert_ne!(dst, source, "old tree had an edge into the source");
+        debug_assert!(
+            parent_edge[dst.index()].is_none(),
+            "remap mapped two tree edges onto the same head"
+        );
+        parent_edge[dst.index()] = Some(e);
+    }
+    // Port busy time including this tree's kept edges: the graft cost's
+    // port-budget pressure.
+    let mut out_load = out_load.to_vec();
+    let mut in_load = in_load.to_vec();
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in platform.nodes() {
+        if let Some(e) = parent_edge[v.index()] {
+            let u = graph.src(e);
+            let time = platform.link_time(e, slice_size);
+            out_load[u.index()] += time;
+            in_load[v.index()] += time;
+            children[u.index()].push(v);
+        }
+    }
+    // The part already connected to the source through kept edges.
+    let mut reached = vec![false; n];
+    let mut remaining = n;
+    let mut queue = std::collections::VecDeque::new();
+    reached[source.index()] = true;
+    remaining -= 1;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in &children[u.index()] {
+            if !reached[v.index()] {
+                reached[v.index()] = true;
+                remaining -= 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    // Graft the disconnected part back, cheapest serviceable edge first.
+    while remaining > 0 {
+        let mut best: Option<(f64, EdgeId)> = None;
+        for e in platform.edges() {
+            let (u, v) = graph.endpoints(e);
+            if !reached[u.index()] || reached[v.index()] || dominated[e.index()] {
+                continue;
+            }
+            let time = platform.link_time(e, slice_size);
+            if !time.is_finite() {
+                continue;
+            }
+            let cost = (out_load[u.index()] + time).max(in_load[v.index()] + time);
+            let better = match best {
+                None => true,
+                Some((c, b)) => cost < c || (cost == c && e.index() < b.index()),
+            };
+            if better {
+                best = Some((cost, e));
+            }
+        }
+        let (_, e) = best?;
+        let (u, v) = graph.endpoints(e);
+        // `v` may sit mid-component, below a kept edge from another
+        // unreached node: re-homing it means leaving that parent.
+        if let Some(old_e) = parent_edge[v.index()] {
+            let old_u = graph.src(old_e);
+            let old_time = platform.link_time(old_e, slice_size);
+            out_load[old_u.index()] -= old_time;
+            in_load[v.index()] -= old_time;
+            children[old_u.index()].retain(|&c| c != v);
+        }
+        let time = platform.link_time(e, slice_size);
+        parent_edge[v.index()] = Some(e);
+        out_load[u.index()] += time;
+        in_load[v.index()] += time;
+        children[u.index()].push(v);
+        // Reconnecting `v` reconnects its whole kept subtree.
+        let mut queue = std::collections::VecDeque::new();
+        reached[v.index()] = true;
+        remaining -= 1;
+        queue.push_back(v);
+        while let Some(w) = queue.pop_front() {
+            for &c in &children[w.index()] {
+                if !reached[c.index()] {
+                    reached[c.index()] = true;
+                    remaining -= 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    // Emit in parent-before-child order, as the assembler requires.
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in &children[u.index()] {
+            edges.push(parent_edge[v.index()].expect("child without a parent edge"));
+            queue.push_back(v);
+        }
+    }
+    debug_assert_eq!(edges.len(), n - 1);
+    Some(edges)
 }
 
 #[cfg(test)]
@@ -723,6 +1049,155 @@ mod tests {
         assert!(report.repair_ops() > 0);
         repaired.validate(&platform).unwrap();
         assert_eq!(repaired.source(), NodeId(0));
+    }
+
+    #[test]
+    fn churn_resynthesis_grafts_a_joiner_and_prunes_a_leaver() {
+        use bcast_platform::drift::ChurnRemap;
+        // Old platform: 0–1, 0–2, 1–2, 2–3 (bidirectional, unit cost).
+        let mut b = Platform::builder();
+        let p = b.add_processors(4);
+        b.add_bidirectional_link(p[0], p[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[0], p[2], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[1], p[2], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(p[2], p[3], LinkCost::one_port(0.0, 1.0));
+        let old = b.build();
+        let config = SynthesisConfig::with_batch(2);
+        let old_optimal =
+            optimal_throughput(&old, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+        let previous = synthesize_schedule(&old, NodeId(0), &old_optimal, SLICE, &config).unwrap();
+        // New platform: node 3 left, node "J" joined on 0 and 2. Surviving
+        // edges keep their relative (compact) order; new edges follow.
+        let mut b = Platform::builder();
+        let q = b.add_processors(3);
+        b.add_bidirectional_link(q[0], q[1], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(q[0], q[2], LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(q[1], q[2], LinkCost::one_port(0.0, 1.0));
+        let j = b.add_processor("J");
+        b.add_bidirectional_link(q[0], j, LinkCost::one_port(0.0, 1.0));
+        b.add_bidirectional_link(q[2], j, LinkCost::one_port(0.0, 1.0));
+        let new = b.build();
+        let remap = ChurnRemap {
+            node_map: vec![Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2)), None],
+            edge_map: (0u32..8)
+                .map(|i| if i < 6 { Some(EdgeId(i)) } else { None })
+                .collect(),
+            new_nodes: vec![NodeId(3)],
+            new_edges: (6u32..10).map(EdgeId).collect(),
+            nodes: 4,
+            edges: 10,
+        };
+        let optimal =
+            optimal_throughput(&new, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+        let (repaired, report) = resynthesize_schedule_churn(
+            &new,
+            NodeId(0),
+            &optimal,
+            SLICE,
+            &config,
+            &previous,
+            &remap,
+        )
+        .unwrap();
+        repaired.validate(&new).unwrap();
+        assert!(!report.full_rebuild, "hand-built churn forced a rebuild");
+        assert_eq!(report.kept_trees, 2);
+        assert_eq!(report.rebuilt_trees, 0);
+        assert_eq!(report.grafted_nodes, 1);
+        assert_eq!(report.pruned_nodes, 1);
+        assert_eq!(repaired.slices_per_period(), 2);
+        for tree in repaired.trees() {
+            assert_eq!(tree.len(), 3);
+            assert!(
+                tree.iter().any(|&e| new.graph().dst(e) == NodeId(3)),
+                "a repaired tree does not reach the joiner"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_resynthesis_with_identity_remap_matches_plain_repair() {
+        use bcast_platform::drift::ChurnRemap;
+        let mut rng = StdRng::seed_from_u64(72);
+        let platform = random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng);
+        let optimal =
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
+        let config = SynthesisConfig::with_batch(8);
+        let schedule = synthesize_schedule(&platform, NodeId(0), &optimal, SLICE, &config).unwrap();
+        let remap = ChurnRemap::identity(platform.node_count(), platform.edge_count());
+        let (plain, plain_report) =
+            resynthesize_schedule(&platform, NodeId(0), &optimal, SLICE, &config, &schedule)
+                .unwrap();
+        let (churn, churn_report) = resynthesize_schedule_churn(
+            &platform,
+            NodeId(0),
+            &optimal,
+            SLICE,
+            &config,
+            &schedule,
+            &remap,
+        )
+        .unwrap();
+        assert_eq!(plain_report, churn_report);
+        assert_eq!(plain.period(), churn.period());
+        assert_eq!(plain.trees(), churn.trees());
+        assert_eq!(churn_report.grafted_nodes, 0);
+        assert_eq!(churn_report.pruned_nodes, 0);
+    }
+
+    #[test]
+    fn churn_resynthesis_repairs_across_a_churn_trace() {
+        use bcast_core::{CutGenOptions, CutGenSession};
+        use bcast_platform::drift::{DriftConfig, DriftTrace};
+        let mut rng = StdRng::seed_from_u64(71);
+        let platform = random_platform(&RandomPlatformConfig::paper(14, 0.12), &mut rng);
+        let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_churn(8, 5));
+        let config = SynthesisConfig::with_batch(8);
+        let snap0 = trace.platform_at(0);
+        let src0 = trace.source_at(0);
+        let mut session =
+            CutGenSession::new(&snap0, src0, SLICE, CutGenOptions::default()).unwrap();
+        let first = session.solve_step(&snap0).unwrap();
+        let mut schedule =
+            synthesize_schedule(&snap0, src0, &first.optimal, SLICE, &config).unwrap();
+        let mut kept_total = 0usize;
+        let mut saw_graft = false;
+        let mut saw_prune = false;
+        for step in 1..trace.len() {
+            let snapshot = trace.platform_at(step);
+            let remap = trace.remap(step - 1, step);
+            let optimal = session.solve_step_churn(&snapshot, &remap).unwrap().optimal;
+            let (repaired, report) = resynthesize_schedule_churn(
+                &snapshot,
+                trace.source_at(step),
+                &optimal,
+                SLICE,
+                &config,
+                &schedule,
+                &remap,
+            )
+            .unwrap();
+            repaired.validate(&snapshot).unwrap();
+            assert_eq!(repaired.slices_per_period(), 8, "batch size drifted");
+            assert!(
+                repaired.efficiency() > 0.7,
+                "step {step}: efficiency {} collapsed (report {report:?})",
+                repaired.efficiency()
+            );
+            if !report.full_rebuild {
+                assert_eq!(report.kept_trees + report.rebuilt_trees, 8);
+                saw_graft |= report.grafted_nodes > 0;
+                saw_prune |= report.pruned_nodes > 0;
+            }
+            kept_total += report.kept_trees;
+            schedule = repaired;
+        }
+        assert!(kept_total > 0, "churn repair never kept a single tree");
+        assert!(
+            saw_graft,
+            "no step grafted a joiner through the repair path"
+        );
+        assert!(saw_prune, "no step pruned a leaver through the repair path");
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod prelude {
         BroadcastStructure, CoreError, CutGenOptions, CutGenResult, CutGenSession, NodeCutSet,
     };
     pub use bcast_net::{EdgeId, NodeId};
+    pub use bcast_platform::drift::ChurnRemap;
     pub use bcast_platform::drift::{DriftConfig, DriftEvent, DriftStep, DriftTrace};
     pub use bcast_platform::generators::gaussian_field::{
         gaussian_platform, GaussianPlatformConfig,
@@ -72,8 +73,9 @@ pub mod prelude {
     pub use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
     pub use bcast_platform::{CommModel, LinkCost, MessageSpec, Platform, PlatformBuilder};
     pub use bcast_sched::{
-        resynthesize_schedule, synthesize_schedule, synthesize_schedule_with_tree_fallback,
-        PeriodicSchedule, RepairReport, RoundingConfig, SchedError, SynthesisConfig,
+        resynthesize_schedule, resynthesize_schedule_churn, synthesize_schedule,
+        synthesize_schedule_with_tree_fallback, PeriodicSchedule, RepairReport, RoundingConfig,
+        SchedError, SynthesisConfig,
     };
     pub use bcast_sim::{
         simulate_broadcast, simulate_schedule, SimulationConfig, SimulationReport,

@@ -1,0 +1,313 @@
+//! Differential churn-test harness for dynamic platforms.
+//!
+//! Every test walks a deterministic **node-churn** drift trace — processors
+//! join (with freshly attached links) and leave (with their incident links)
+//! on top of the usual multiplicative cost drift — and pits the two solver
+//! pipelines against each other at **every step**:
+//!
+//! * **warm** — one [`CutGenSession`] survives the node-set change:
+//!   `solve_step_churn` remaps the cut pool through the step's
+//!   [`ChurnRemap`], deletes the LP columns of dead edges, appends columns
+//!   for new ones, reconciles the one-port rows, and re-solves from the
+//!   repaired basis; `resynthesize_schedule_churn` grafts the joiners onto
+//!   the kept trees and prunes the leavers;
+//! * **cold** — the step's platform snapshot is solved from scratch
+//!   (`warm_start: false`, empty cut pool) and a fresh schedule is
+//!   synthesized.
+//!
+//! The contract: identical throughput at 1e-6 relative at every step —
+//! including steps where a node joins *and* another leaves — with a valid
+//! (repaired) schedule each step that the simulator replays at its stated
+//! throughput, plus the headline perf assert: on a 40-node Tiers churn
+//! trace the warm re-solves use **≥ 5× fewer simplex pivots per step** than
+//! the cold baseline.
+
+use broadcast_trees::core::optimal::cut_gen;
+use broadcast_trees::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SLICE: f64 = 1.0e6;
+
+fn assert_rel_close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12),
+        "{what}: warm {a} vs cold {b}"
+    );
+}
+
+/// Cold reference for one snapshot: a from-scratch cut-generation solve.
+fn cold_solve(platform: &Platform, source: NodeId) -> CutGenResult {
+    cut_gen::solve_with(
+        platform,
+        source,
+        SLICE,
+        &CutGenOptions {
+            warm_start: false,
+            ..CutGenOptions::default()
+        },
+    )
+    .expect("cold step solvable")
+}
+
+/// Counts the trace's join and leave events.
+fn churn_events(trace: &DriftTrace) -> (usize, usize) {
+    let mut joins = 0usize;
+    let mut leaves = 0usize;
+    for step in 0..trace.len() {
+        for event in &trace.step(step).events {
+            match event {
+                DriftEvent::NodeJoin(_) => joins += 1,
+                DriftEvent::NodeLeave(_) => leaves += 1,
+                _ => {}
+            }
+        }
+    }
+    (joins, leaves)
+}
+
+/// Walks `trace` with the warm churn pipeline, checking warm ≡ cold and
+/// schedule validity at every step. Returns `(warm_pivots, cold_pivots)`
+/// summed over the churn steps (step 0 is a cold start for both sides and
+/// excluded).
+fn churn_walk(label: &str, trace: &DriftTrace, batch: usize) -> (usize, usize) {
+    let config = SynthesisConfig::with_batch(batch);
+    let snap0 = trace.platform_at(0);
+    let mut session =
+        CutGenSession::new(&snap0, trace.source_at(0), SLICE, CutGenOptions::default())
+            .expect("step-0 platform solvable");
+    let mut previous: Option<PeriodicSchedule> = None;
+    let mut warm_pivots = 0usize;
+    let mut cold_pivots = 0usize;
+    for step in 0..trace.len() {
+        let snapshot = trace.platform_at(step);
+        let source = trace.source_at(step);
+        let warm = if step == 0 {
+            session.solve_step(&snapshot).expect("warm step solvable")
+        } else {
+            let remap = trace.remap(step - 1, step);
+            session
+                .solve_step_churn(&snapshot, &remap)
+                .expect("warm churn step solvable")
+        };
+        let cold = cold_solve(&snapshot, source);
+        assert_rel_close(
+            warm.optimal.throughput,
+            cold.optimal.throughput,
+            1e-6,
+            &format!("{label} step {step} throughput"),
+        );
+        assert_eq!(
+            warm.optimal.edge_load.len(),
+            snapshot.edge_count(),
+            "{label} step {step}: edge loads live in a stale id space"
+        );
+        // The warm loads must support the claimed throughput per
+        // destination (primal feasibility of the full cut LP on the
+        // *churned* snapshot).
+        for w in snapshot.nodes().filter(|&w| w != source) {
+            let flow =
+                broadcast_trees::net::maxflow::max_flow(snapshot.graph(), source, w, |e, _| {
+                    warm.optimal.edge_load[e.index()]
+                });
+            assert!(
+                flow.value >= warm.optimal.throughput * (1.0 - 1e-5),
+                "{label} step {step}: destination {w} flow {} < TP {}",
+                flow.value,
+                warm.optimal.throughput
+            );
+        }
+        // Warm side: repair the previous period across the node-set change.
+        // Cold side: synthesize fresh. Both must validate on the snapshot.
+        let (schedule, report) = match &previous {
+            None => (
+                synthesize_schedule(&snapshot, source, &warm.optimal, SLICE, &config)
+                    .expect("synthesis succeeds"),
+                RepairReport::default(),
+            ),
+            Some(prev) => {
+                let remap = trace.remap(step - 1, step);
+                resynthesize_schedule_churn(
+                    &snapshot,
+                    source,
+                    &warm.optimal,
+                    SLICE,
+                    &config,
+                    prev,
+                    &remap,
+                )
+                .expect("churn repair succeeds")
+            }
+        };
+        schedule
+            .validate(&snapshot)
+            .unwrap_or_else(|e| panic!("{label} step {step}: repaired schedule invalid: {e}"));
+        assert_eq!(
+            schedule.slices_per_period(),
+            batch,
+            "{label} step {step}: repair changed the batch size"
+        );
+        if step > 0 && !report.full_rebuild {
+            assert_eq!(
+                report.kept_trees + report.rebuilt_trees,
+                batch,
+                "{label} step {step}: repair lost trees ({report:?})"
+            );
+        }
+        let cold_schedule = synthesize_schedule(&snapshot, source, &cold.optimal, SLICE, &config)
+            .expect("cold synthesis succeeds");
+        cold_schedule
+            .validate(&snapshot)
+            .unwrap_or_else(|e| panic!("{label} step {step}: cold schedule invalid: {e}"));
+        if step > 0 {
+            warm_pivots += warm.optimal.simplex_iterations;
+            cold_pivots += cold.optimal.simplex_iterations;
+        }
+        previous = Some(schedule);
+    }
+    (warm_pivots, cold_pivots)
+}
+
+/// Warm ≡ cold at every step of a churn trace, on all three platform
+/// families, with joins and leaves actually exercised.
+#[test]
+fn warm_churn_resolve_matches_cold_on_all_families() {
+    let mut platforms: Vec<(&str, Platform)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(7024);
+    platforms.push((
+        "random-16",
+        random_platform(&RandomPlatformConfig::paper(16, 0.12), &mut rng),
+    ));
+    let mut rng = StdRng::seed_from_u64(7025);
+    platforms.push((
+        "tiers-20",
+        tiers_platform(&TiersConfig::paper(20, 0.10), &mut rng),
+    ));
+    let mut rng = StdRng::seed_from_u64(7026);
+    platforms.push((
+        "gaussian-16",
+        gaussian_platform(&GaussianPlatformConfig::paper(16), &mut rng),
+    ));
+    for (i, (label, platform)) in platforms.iter().enumerate() {
+        let trace = DriftTrace::generate(
+            platform,
+            NodeId(0),
+            &DriftConfig::with_churn(8, 0xC4A1 + i as u64),
+        );
+        let (joins, leaves) = churn_events(&trace);
+        assert!(joins > 0, "{label}: the churn trace produced no joins");
+        assert!(leaves > 0, "{label}: the churn trace produced no leaves");
+        churn_walk(label, &trace, 8);
+    }
+}
+
+/// Steps where a join and a leave land together are the adversarial case
+/// (the LP gains and loses columns in one reconciliation): force such a
+/// step to exist and run the full differential walk over the trace.
+#[test]
+fn simultaneous_join_and_leave_steps_keep_warm_equal_to_cold() {
+    let mut found = None;
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(7100 + seed);
+        let platform = random_platform(&RandomPlatformConfig::paper(14, 0.15), &mut rng);
+        let trace = DriftTrace::generate(
+            &platform,
+            NodeId(0),
+            &DriftConfig::with_churn(8, 9000 + seed),
+        );
+        let both = (0..trace.len()).any(|s| {
+            let events = &trace.step(s).events;
+            events.iter().any(|e| matches!(e, DriftEvent::NodeJoin(_)))
+                && events.iter().any(|e| matches!(e, DriftEvent::NodeLeave(_)))
+        });
+        if both {
+            found = Some(trace);
+            break;
+        }
+    }
+    let trace = found.expect("no seed produced a simultaneous join+leave step");
+    churn_walk("join+leave-14", &trace, 8);
+}
+
+/// The headline perf assert of the node-churn work: on a 40-node Tiers
+/// churn trace, the warm cross-step re-solves (cut pool remapped, columns
+/// added/deleted in place) use at least 5× fewer simplex pivots than
+/// solving every step cold (measured over the churn steps; step 0 is a
+/// cold start on both sides).
+#[test]
+fn warm_churn_cuts_pivots_5x_on_a_tiers_40_trace() {
+    let mut rng = StdRng::seed_from_u64(40);
+    let platform = tiers_platform(&TiersConfig::paper(40, 0.10), &mut rng);
+    let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_churn(6, 4144));
+    let (joins, leaves) = churn_events(&trace);
+    assert!(
+        joins > 0 && leaves > 0,
+        "tiers-40 churn trace must exercise both joins ({joins}) and leaves ({leaves})"
+    );
+    let (warm, cold) = churn_walk("tiers-40", &trace, 12);
+    eprintln!("tiers-40 churn steps: warm {warm} pivots vs cold {cold} pivots");
+    assert!(
+        5 * warm <= cold,
+        "expected a ≥ 5x pivot drop across the churn steps: warm {warm} vs cold {cold}"
+    );
+}
+
+/// The churn-repaired schedule replayed by the simulator achieves the
+/// schedule's own throughput at every step
+/// (LP → remap → graft/prune → timetable → execution).
+#[test]
+fn churn_repaired_schedules_replay_at_their_stated_throughput() {
+    let mut rng = StdRng::seed_from_u64(7028);
+    let platform = random_platform(&RandomPlatformConfig::paper(12, 0.15), &mut rng);
+    let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_churn(6, 777));
+    let batch = 8usize;
+    let config = SynthesisConfig::with_batch(batch);
+    let spec = MessageSpec::new(5.0 * batch as f64 * SLICE, SLICE);
+    let snap0 = trace.platform_at(0);
+    let mut session =
+        CutGenSession::new(&snap0, trace.source_at(0), SLICE, CutGenOptions::default())
+            .expect("step-0 platform solvable");
+    let mut previous: Option<PeriodicSchedule> = None;
+    for step in 0..trace.len() {
+        let snapshot = trace.platform_at(step);
+        let source = trace.source_at(step);
+        let optimal = if step == 0 {
+            session.solve_step(&snapshot).expect("solvable").optimal
+        } else {
+            session
+                .solve_step_churn(&snapshot, &trace.remap(step - 1, step))
+                .expect("solvable")
+                .optimal
+        };
+        let schedule = match &previous {
+            None => synthesize_schedule(&snapshot, source, &optimal, SLICE, &config)
+                .expect("synthesis succeeds"),
+            Some(prev) => {
+                resynthesize_schedule_churn(
+                    &snapshot,
+                    source,
+                    &optimal,
+                    SLICE,
+                    &config,
+                    prev,
+                    &trace.remap(step - 1, step),
+                )
+                .expect("churn repair succeeds")
+                .0
+            }
+        };
+        let report = simulate_schedule(&snapshot, &schedule, &spec);
+        let simulated = report.batch_throughput(batch);
+        assert_rel_close(
+            simulated,
+            schedule.throughput(),
+            1e-6,
+            &format!("step {step} simulated throughput"),
+        );
+        assert!(
+            schedule.efficiency() <= 1.0 + 1e-6,
+            "step {step}: schedule beats the LP bound"
+        );
+        previous = Some(schedule);
+    }
+}

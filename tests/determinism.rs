@@ -415,6 +415,167 @@ fn drift_trace_stats_match_their_goldens() {
 }
 
 #[test]
+fn churn_trace_stats_match_their_goldens() {
+    // Golden per-step statistics of the node-churn pipeline — warm
+    // cut-generation session surviving joins/leaves via cut-pool remapping
+    // and LP column add/delete, plus churn-aware schedule repair — for one
+    // fixed seed per platform family: throughput (to 1e-7 relative),
+    // simplex pivots, cuts reused across the remap, schedule repair ops,
+    // and the grafted/pruned node counts of the repair path at every step.
+    // Pinned for the same reason as the other golden tables: the pipeline
+    // is required to be bit-deterministic, and degenerate-vertex drift in
+    // the churn re-solves should be a deliberate change, not silent churn.
+    // Rerun with `--nocapture` to print the observed tuples for an
+    // *intentional* solver or repair change.
+    struct GoldenChurn {
+        label: &'static str,
+        batch: usize,
+        // (throughput, pivots, cuts reused, repair ops, grafted, pruned).
+        steps: Vec<(f64, usize, usize, usize, usize, usize)>,
+    }
+    let goldens = [
+        GoldenChurn {
+            label: "random-12",
+            batch: 8,
+            steps: vec![
+                (88.5196294, 53, 0, 0, 0, 0),
+                (67.6487047, 28, 4, 8, 0, 0),
+                (60.2815903, 24, 6, 8, 0, 0),
+                (64.6966420, 31, 8, 0, 1, 1),
+            ],
+        },
+        GoldenChurn {
+            label: "tiers-20",
+            batch: 8,
+            steps: vec![
+                (22.1543323, 36, 0, 0, 0, 0),
+                (29.6838884, 49, 6, 8, 0, 0),
+                (31.6597730, 50, 24, 0, 1, 0),
+                (31.9210482, 47, 6, 0, 1, 1),
+            ],
+        },
+        GoldenChurn {
+            label: "gaussian-20",
+            batch: 8,
+            steps: vec![
+                (11.8467300, 88, 0, 0, 0, 0),
+                (13.3156753, 72, 29, 0, 1, 0),
+                (13.6869499, 41, 38, 8, 0, 0),
+                (40.1225894, 153, 9, 8, 0, 0),
+            ],
+        },
+    ];
+    // Collect every family's observations before asserting, so a rerun
+    // with `--nocapture` prints the full replacement table in one pass.
+    type ChurnStepStats = (f64, usize, usize, usize, usize, usize);
+    let mut observed: Vec<(&'static str, Vec<ChurnStepStats>)> = Vec::new();
+    for golden in &goldens {
+        let platform = match golden.label {
+            "random-12" => fixture(),
+            "tiers-20" => {
+                let mut rng = StdRng::seed_from_u64(SEED);
+                tiers_platform(&TiersConfig::paper(20, 0.10), &mut rng)
+            }
+            "gaussian-20" => {
+                let mut rng = StdRng::seed_from_u64(SEED);
+                gaussian_platform(&GaussianPlatformConfig::paper(20), &mut rng)
+            }
+            _ => unreachable!(),
+        };
+        let trace = DriftTrace::generate(
+            &platform,
+            NodeId(0),
+            &DriftConfig::with_churn(golden.steps.len() - 1, SEED),
+        );
+        let config = SynthesisConfig::with_batch(golden.batch);
+        let snap0 = trace.platform_at(0);
+        let mut session =
+            CutGenSession::new(&snap0, trace.source_at(0), SLICE, CutGenOptions::default())
+                .expect("step-0 platform solvable");
+        let mut previous: Option<PeriodicSchedule> = None;
+        let mut rows = Vec::new();
+        for step in 0..golden.steps.len() {
+            let snapshot = trace.platform_at(step);
+            let source = trace.source_at(step);
+            let result = if step == 0 {
+                session.solve_step(&snapshot).expect("step solvable")
+            } else {
+                session
+                    .solve_step_churn(&snapshot, &trace.remap(step - 1, step))
+                    .expect("churn step solvable")
+            };
+            let (schedule, report) = match &previous {
+                None => (
+                    synthesize_schedule(&snapshot, source, &result.optimal, SLICE, &config)
+                        .expect("synthesis succeeds"),
+                    RepairReport::default(),
+                ),
+                Some(prev) => resynthesize_schedule_churn(
+                    &snapshot,
+                    source,
+                    &result.optimal,
+                    SLICE,
+                    &config,
+                    prev,
+                    &trace.remap(step - 1, step),
+                )
+                .expect("churn repair succeeds"),
+            };
+            schedule.validate(&snapshot).expect("schedule is feasible");
+            println!(
+                "{} step {step}: ({:.7}, {}, {}, {}, {}, {}),",
+                golden.label,
+                result.optimal.throughput,
+                result.optimal.simplex_iterations,
+                result.reused_cuts,
+                report.repair_ops(),
+                report.grafted_nodes,
+                report.pruned_nodes,
+            );
+            rows.push((
+                result.optimal.throughput,
+                result.optimal.simplex_iterations,
+                result.reused_cuts,
+                report.repair_ops(),
+                report.grafted_nodes,
+                report.pruned_nodes,
+            ));
+            previous = Some(schedule);
+        }
+        observed.push((golden.label, rows));
+    }
+    for (golden, (label, rows)) in goldens.iter().zip(&observed) {
+        assert_eq!(golden.label, *label);
+        for (step, (&(tp, pivots, reused, repairs, grafted, pruned), &o)) in
+            golden.steps.iter().zip(rows).enumerate()
+        {
+            let (otp, opivots, oreused, orepairs, ografted, opruned) = o;
+            assert!(
+                (otp - tp).abs() <= 1e-7 * tp,
+                "{label} step {step}: throughput drifted: observed {otp:.7}, golden {tp:.7}"
+            );
+            assert_eq!(opivots, pivots, "{label} step {step}: pivot count drifted");
+            assert_eq!(
+                oreused, reused,
+                "{label} step {step}: reused-cut count drifted"
+            );
+            assert_eq!(
+                orepairs, repairs,
+                "{label} step {step}: repair-op count drifted"
+            );
+            assert_eq!(
+                ografted, grafted,
+                "{label} step {step}: grafted-node count drifted"
+            );
+            assert_eq!(
+                opruned, pruned,
+                "{label} step {step}: pruned-node count drifted"
+            );
+        }
+    }
+}
+
+#[test]
 fn tiers_200_sweep_point_is_pinned() {
     // The scaling acceptance of the sparse revised-simplex work (PR 5): a
     // 200-node Tiers point — far beyond what the dense tableau could touch
