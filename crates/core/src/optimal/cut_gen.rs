@@ -141,6 +141,14 @@ pub struct CutGenOptions {
     /// unscreened one. Skipped max-flow calls are counted in
     /// [`CutGenResult::skipped_separations`].
     pub screen_separation: bool,
+    /// Overrides the per-solve simplex iteration budget of the *cold*
+    /// master solves (`None`, the default, keeps the engine's
+    /// size-derived budget). Warm re-solves budget themselves. Raising
+    /// this rescues rare cold-solve stalls where a long degenerate
+    /// plateau exhausts the default budget (and its refactor-interval-1
+    /// retry) before optimality — seen once on the 40-node drift-ablation
+    /// platform at seed 2004; see EXPERIMENTS.md.
+    pub iteration_budget: Option<usize>,
 }
 
 impl Default for CutGenOptions {
@@ -152,6 +160,7 @@ impl Default for CutGenOptions {
             lp_engine: SimplexEngine::Sparse,
             pricing: PricingRule::Devex,
             screen_separation: true,
+            iteration_budget: None,
         }
     }
 }
@@ -162,6 +171,7 @@ impl CutGenOptions {
         SimplexOptions {
             engine: self.lp_engine,
             pricing: self.pricing,
+            max_iterations: self.iteration_budget.unwrap_or(0),
             ..SimplexOptions::default()
         }
     }
@@ -401,6 +411,7 @@ impl CutGenSession {
         tol: f64,
     ) -> bool {
         let source = self.source;
+        bcast_obs::counter_add(bcast_obs::names::CUTGEN_SEPARATIONS_RUN, 1);
         // The oracle only needs to know whether `w`'s flow clears TP (plus
         // enough headroom for the screen): cap the augmentation there. A
         // capped value is only ever *under*-reported, so the violation test
@@ -458,7 +469,7 @@ impl CutGenSession {
         if edges.is_empty() {
             return false;
         }
-        match self.index_by_edges.get(&edges) {
+        let gained = match self.index_by_edges.get(&edges) {
             Some(&i) => {
                 if self.cuts[i].active {
                     false
@@ -479,7 +490,9 @@ impl CutGenSession {
                 });
                 true
             }
-        }
+        };
+        bcast_obs::counter_add(bcast_obs::names::CUTGEN_CUTS_ADDED, gained as u64);
+        gained
     }
 
     /// Solves the current master. Warm mode first appends any active cut
@@ -487,6 +500,7 @@ impl CutGenSession {
     /// deleted at purge time), then re-optimizes the persistent basis; cold
     /// mode rebuilds the whole LP from the base and solves it from scratch.
     fn solve_master(&mut self, simplex_iterations: &mut usize) -> Result<LpSolution, CoreError> {
+        let _span = bcast_obs::span!(bcast_obs::names::SPAN_CUTGEN_MASTER);
         let solution = match &mut self.master {
             MasterLp::Warm(state) => {
                 // One batched append for every active cut without a live row
@@ -821,14 +835,58 @@ impl CutGenSession {
             all_but_w[w.index()] = false;
             self.add_cut(platform, all_but_w);
         }
+        // A heavy enough leave can kill *every* surviving cut (any cut
+        // whose source side contained the departed node dies) while no
+        // joiner arrives to seed a fresh one. TP is only bounded through
+        // cut rows, so an empty pool makes the master genuinely unbounded:
+        // re-seed the trivial per-destination cuts exactly as session
+        // creation does, and let separation re-tighten from there.
+        if !self.cuts.iter().any(|c| c.active) {
+            let source = self.source;
+            for w in platform.nodes().filter(|&w| w != source) {
+                let mut all_but_w = vec![true; remap.nodes];
+                all_but_w[w.index()] = false;
+                self.add_cut(platform, all_but_w);
+            }
+        }
         self.solve_inner(platform)
     }
 
     /// The shared solve path of [`solve_step`](Self::solve_step) and
-    /// [`solve_step_churn`](Self::solve_step_churn): per-step port-row
-    /// coefficient refresh plus the separation loop. Assumes the session's
-    /// bookkeeping already matches `platform`'s topology.
+    /// [`solve_step_churn`](Self::solve_step_churn): instrumentation shell
+    /// around [`solve_loop`](Self::solve_loop). One relaxed atomic load
+    /// when the observability sink is off.
     fn solve_inner(&mut self, platform: &Platform) -> Result<CutGenResult, CoreError> {
+        if !bcast_obs::enabled() {
+            return self.solve_loop(platform);
+        }
+        let _span = bcast_obs::span!(bcast_obs::names::SPAN_CUTGEN_SOLVE);
+        let start = std::time::Instant::now();
+        // `solve_loop` advances `self.steps`; capture the number this solve
+        // runs under.
+        let step = self.steps as u64;
+        let result = self.solve_loop(platform);
+        if let Ok(res) = &result {
+            use bcast_obs::names;
+            bcast_obs::counter_add(names::CUTGEN_ROUNDS, res.optimal.iterations as u64);
+            bcast_obs::counter_add(names::CUTGEN_CUTS_PURGED, res.optimal.purged_cuts as u64);
+            bcast_obs::counter_add(names::CUTGEN_CUTS_REUSED, res.reused_cuts as u64);
+            bcast_obs::emit_with(|| bcast_obs::Event::CutGenStep {
+                step,
+                rounds: res.optimal.iterations as u64,
+                pivots: res.optimal.simplex_iterations as u64,
+                reused_cuts: res.reused_cuts as u64,
+                tp: res.optimal.throughput,
+                t_ns: start.elapsed().as_nanos() as u64,
+            });
+        }
+        result
+    }
+
+    /// The per-step port-row coefficient refresh plus the separation loop.
+    /// Assumes the session's bookkeeping already matches `platform`'s
+    /// topology.
+    fn solve_loop(&mut self, platform: &Platform) -> Result<CutGenResult, CoreError> {
         let source = self.source;
         // Guard infeasible platforms explicitly: an unreachable destination
         // has only *empty* violated cuts, which the partition bookkeeping
@@ -891,6 +949,11 @@ impl CutGenSession {
         let mut last_solution = self.solve_master(&mut simplex_iterations)?;
         loop {
             rounds += 1;
+            let round_start = if bcast_obs::enabled() {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             let tp_value = last_solution.value(self.tp);
             let loads: Vec<f64> = self
                 .n_vars
@@ -919,6 +982,7 @@ impl CutGenSession {
 
             let mut new_cuts = 0usize;
             let mut skipped_this_round: Vec<usize> = Vec::new();
+            let sep_span = bcast_obs::span!(bcast_obs::names::SPAN_CUTGEN_SEPARATION);
             for (di, &w) in destinations.iter().enumerate() {
                 if screening && self.can_skip(di, tp_value, &sep_point) {
                     skipped_this_round.push(di);
@@ -940,6 +1004,19 @@ impl CutGenSession {
                     }
                 }
             }
+            drop(sep_span);
+            bcast_obs::counter_add(
+                bcast_obs::names::CUTGEN_SEPARATIONS_SCREENED,
+                skipped_this_round.len() as u64,
+            );
+            bcast_obs::emit_with(|| bcast_obs::Event::SepRound {
+                step: step as u64,
+                round: rounds as u64,
+                tp: tp_value,
+                new_cuts: new_cuts as u64,
+                screened: skipped_this_round.len() as u64,
+                t_ns: round_start.map_or(0, |s| s.elapsed().as_nanos() as u64),
+            });
             if new_cuts == 0 || rounds >= MAX_ROUNDS {
                 let binding_cuts = self
                     .cuts

@@ -27,24 +27,27 @@ use bcast_core::evaluation::mean_and_deviation;
 use bcast_core::heuristics::{build_structure, HeuristicKind};
 use bcast_core::optimal::{optimal_throughput, OptimalMethod};
 use bcast_core::throughput::steady_state_throughput;
-use bcast_experiments::{AsciiTable, ExperimentArgs};
+use bcast_experiments::{
+    finish_journal_or_exit, install_journal_or_exit, AsciiTable, ExperimentArgs,
+};
 use bcast_net::NodeId;
 use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
 use bcast_platform::CommModel;
 use bcast_sched::{synthesize_schedule, SynthesisConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 const SLICE: f64 = 1.0e6;
 
 fn main() {
     let args = ExperimentArgs::from_env(10);
+    install_journal_or_exit(&args.journal, "ablation");
     solver_ablation(&args);
     pruning_metric_ablation(&args);
     overlap_sensitivity(&args);
     schedule_resolution(&args);
     warm_start_ablation(&args);
+    finish_journal_or_exit();
 }
 
 /// Ablation 5: warm-started dual simplex vs cold re-solves in the
@@ -74,18 +77,24 @@ fn warm_start_ablation(args: &ExperimentArgs) {
         let mut rng = StdRng::seed_from_u64(args.seed + nodes as u64);
         let platform = tiers_platform(&TiersConfig::paper(nodes, density), &mut rng);
         let run = |warm_start: bool| {
-            let t = Instant::now();
-            let result = cut_gen::solve_with(
-                &platform,
-                NodeId(0),
-                SLICE,
-                &CutGenOptions {
-                    warm_start,
-                    ..CutGenOptions::default()
-                },
-            )
-            .expect("solvable instance");
-            (result.optimal, t.elapsed().as_secs_f64() * 1000.0)
+            let name = if warm_start {
+                "ablation.warm"
+            } else {
+                "ablation.cold"
+            };
+            let (result, elapsed) = bcast_obs::timed(name, || {
+                cut_gen::solve_with(
+                    &platform,
+                    NodeId(0),
+                    SLICE,
+                    &CutGenOptions {
+                        warm_start,
+                        ..CutGenOptions::default()
+                    },
+                )
+                .expect("solvable instance")
+            });
+            (result.optimal, elapsed.as_secs_f64() * 1000.0)
         };
         let (warm, warm_ms) = run(true);
         let (cold, cold_ms) = run(false);
@@ -128,14 +137,14 @@ fn solver_ablation(args: &ExperimentArgs) {
     for &nodes in sizes {
         let mut rng = StdRng::seed_from_u64(args.seed + nodes as u64);
         let platform = random_platform(&RandomPlatformConfig::paper(nodes, 0.15), &mut rng);
-        let t0 = Instant::now();
-        let direct =
-            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::DirectLp).unwrap();
-        let direct_ms = t0.elapsed().as_secs_f64() * 1000.0;
-        let t1 = Instant::now();
-        let cut =
-            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap();
-        let cut_ms = t1.elapsed().as_secs_f64() * 1000.0;
+        let (direct, direct_t) = bcast_obs::timed("ablation.direct_lp", || {
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::DirectLp).unwrap()
+        });
+        let direct_ms = direct_t.as_secs_f64() * 1000.0;
+        let (cut, cut_t) = bcast_obs::timed("ablation.cutgen", || {
+            optimal_throughput(&platform, NodeId(0), SLICE, OptimalMethod::CutGeneration).unwrap()
+        });
+        let cut_ms = cut_t.as_secs_f64() * 1000.0;
         let gap = (direct.throughput - cut.throughput).abs() / direct.throughput.max(1e-12);
         table.add_row(vec![
             nodes.to_string(),

@@ -23,7 +23,7 @@
 
 use bcast_core::optimal::cut_gen;
 use bcast_core::{CutGenOptions, PricingRule, SimplexEngine};
-use bcast_experiments::AsciiTable;
+use bcast_experiments::{finish_journal_or_exit, install_journal_or_exit, AsciiTable};
 use bcast_net::NodeId;
 use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
 use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
@@ -31,7 +31,6 @@ use bcast_platform::generators::{gaussian_platform, GaussianPlatformConfig};
 use bcast_platform::Platform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 const SLICE: f64 = 1.0e6;
 const BASELINE_SEED: u64 = 65;
@@ -50,6 +49,9 @@ fn main() {
     let mut seed = 2004u64;
     let mut emit: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut journal: Option<String> = None;
+    let mut family: Option<String> = None;
+    let mut nodes: Option<usize> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -59,6 +61,28 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"))
+            }
+            "--family" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--family needs a name"));
+                if !["random", "tiers", "gaussian"].contains(&v.as_str()) {
+                    usage(&format!("unknown family: {v}"));
+                }
+                family = Some(v);
+            }
+            "--nodes" => {
+                nodes = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--nodes needs a number")),
+                )
+            }
+            "--journal" => {
+                journal = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--journal needs a path")),
+                )
             }
             "--emit-baseline" => {
                 emit = Some(
@@ -76,15 +100,15 @@ fn main() {
             other => usage(&format!("unknown argument: {other}")),
         }
     }
+    install_journal_or_exit(&journal, "bench_simplex");
     if let Some(path) = emit {
         emit_baseline(&path);
-        return;
-    }
-    if let Some(path) = check {
+    } else if let Some(path) = check {
         check_baseline(&path);
-        return;
+    } else {
+        ablation_table(quick, full, seed, family.as_deref(), nodes);
     }
-    ablation_table(quick, full, seed);
+    finish_journal_or_exit();
 }
 
 fn usage(message: &str) -> ! {
@@ -93,6 +117,7 @@ fn usage(message: &str) -> ! {
     }
     eprintln!(
         "usage: bench_simplex [--quick|--full] [--seed S] \
+         [--family random|tiers|gaussian] [--nodes N] [--journal PATH] \
          [--emit-baseline PATH | --check-baseline PATH]"
     );
     std::process::exit(2);
@@ -104,23 +129,24 @@ fn run(
     engine: SimplexEngine,
     pricing: PricingRule,
 ) -> (f64, usize, usize, f64) {
-    let t = Instant::now();
-    let r = cut_gen::solve_with(
-        platform,
-        NodeId(0),
-        SLICE,
-        &CutGenOptions {
-            lp_engine: engine,
-            pricing,
-            ..CutGenOptions::default()
-        },
-    )
-    .expect("solvable instance");
+    let (r, elapsed) = bcast_obs::timed("bench.cutgen", || {
+        cut_gen::solve_with(
+            platform,
+            NodeId(0),
+            SLICE,
+            &CutGenOptions {
+                lp_engine: engine,
+                pricing,
+                ..CutGenOptions::default()
+            },
+        )
+        .expect("solvable instance")
+    });
     (
         r.optimal.throughput,
         r.optimal.simplex_iterations,
         r.optimal.iterations,
-        t.elapsed().as_secs_f64(),
+        elapsed.as_secs_f64(),
     )
 }
 
@@ -147,7 +173,16 @@ fn make_platform(family: &str, nodes: usize, seed: u64) -> Platform {
 }
 
 /// Ablation 7: dense vs sparse vs pricing rule, per family and size.
-fn ablation_table(quick: bool, full: bool, seed: u64) {
+/// `family_filter`/`nodes_filter` restrict the table to one family and/or
+/// one size (handy for producing a single-point `--journal`, e.g. the
+/// Tiers-130 profile EXPERIMENTS.md walks through).
+fn ablation_table(
+    quick: bool,
+    full: bool,
+    seed: u64,
+    family_filter: Option<&str>,
+    nodes_filter: Option<usize>,
+) {
     println!(
         "Ablation 7 — master-LP engine: dense tableau vs sparse revised simplex (eta-file basis)"
     );
@@ -155,10 +190,11 @@ fn ablation_table(quick: bool, full: bool, seed: u64) {
         "(dense runs are limited to n ≤ {} — the dense tableau is the scaling wall this ablation documents)",
         if full { 130 } else { 65 }
     );
-    let sizes: &[usize] = if quick {
-        &[20, 65]
-    } else {
-        &[20, 65, 130, 200]
+    let size_override = nodes_filter.map(|n| [n]);
+    let sizes: &[usize] = match &size_override {
+        Some(one) => one,
+        None if quick => &[20, 65],
+        None => &[20, 65, 130, 200],
     };
     let mut table = AsciiTable::new(vec![
         "family",
@@ -170,6 +206,9 @@ fn ablation_table(quick: bool, full: bool, seed: u64) {
         "wall ms",
     ]);
     for family in ["random", "tiers", "gaussian"] {
+        if family_filter.is_some_and(|f| f != family) {
+            continue;
+        }
         for &nodes in sizes {
             let platform = make_platform(family, nodes, seed);
             let dense_cap = if full { 130 } else { 65 };

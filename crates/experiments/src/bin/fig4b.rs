@@ -10,12 +10,13 @@
 
 use bcast_core::heuristics::HeuristicKind;
 use bcast_experiments::{
-    aggregate_relative, random_sweep, write_csv_or_exit, AsciiTable, ExperimentArgs,
-    RandomSweepConfig,
+    aggregate_relative, finish_journal_or_exit, install_journal_or_exit, random_sweep,
+    write_csv_or_exit, AsciiTable, ExperimentArgs, RandomSweepConfig,
 };
 
 fn main() {
     let args = ExperimentArgs::from_env(10);
+    install_journal_or_exit(&args.journal, "fig4b");
     let mut config = RandomSweepConfig {
         configs_per_point: args.configs,
         seed: args.seed,
@@ -59,4 +60,5 @@ fn main() {
     if let Some(path) = &args.csv {
         write_csv_or_exit(path, &header, &csv_rows);
     }
+    finish_journal_or_exit();
 }

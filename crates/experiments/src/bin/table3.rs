@@ -10,8 +10,8 @@
 
 use bcast_core::heuristics::HeuristicKind;
 use bcast_experiments::{
-    aggregate_relative, solver_totals, tiers_sweep, write_csv_or_exit, AsciiTable, ExperimentArgs,
-    TiersSweepConfig,
+    aggregate_relative, finish_journal_or_exit, install_journal_or_exit, print_solver_stats,
+    solver_totals, tiers_sweep, write_csv_or_exit, AsciiTable, ExperimentArgs, TiersSweepConfig,
 };
 
 /// Column order of the paper's Table 3.
@@ -26,6 +26,7 @@ const TABLE3_HEURISTICS: [HeuristicKind; 6] = [
 
 fn main() {
     let args = ExperimentArgs::from_env(100);
+    install_journal_or_exit(&args.journal, "table3");
     let mut config = TiersSweepConfig {
         configs_per_point: args.configs,
         seed: args.seed,
@@ -41,10 +42,7 @@ fn main() {
     );
     let records = tiers_sweep(&config);
     let (instances, rounds, pivots) = solver_totals(&records);
-    eprintln!(
-        "table3: cut generation solved {instances} instances in {rounds} master rounds, \
-         {pivots} simplex pivots total (warm-started dual simplex)"
-    );
+    print_solver_stats("table3", instances, rounds, pivots);
     let aggregated = aggregate_relative(&records, |r| r.point.nodes);
 
     let mut header = vec!["nodes".to_string()];
@@ -70,4 +68,5 @@ fn main() {
     if let Some(path) = &args.csv {
         write_csv_or_exit(path, &header, &csv_rows);
     }
+    finish_journal_or_exit();
 }

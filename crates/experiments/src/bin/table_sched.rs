@@ -20,7 +20,10 @@ use bcast_core::heuristics::{build_structure_with_loads, HeuristicKind};
 use bcast_core::optimal::cut_gen;
 use bcast_core::throughput::steady_state_throughput;
 use bcast_core::{CutGenOptions, NodeCutSet};
-use bcast_experiments::{write_csv_or_exit, AsciiTable, ExperimentArgs};
+use bcast_experiments::{
+    finish_journal_or_exit, install_journal_or_exit, print_solver_stats, write_csv_or_exit,
+    AsciiTable, ExperimentArgs,
+};
 use bcast_net::NodeId;
 use bcast_platform::generators::gaussian_field::{gaussian_platform, GaussianPlatformConfig};
 use bcast_platform::generators::random::{random_platform, RandomPlatformConfig};
@@ -141,6 +144,7 @@ fn run_instance(
 
 fn main() {
     let args = ExperimentArgs::from_env(10);
+    install_journal_or_exit(&args.journal, "table_sched");
     let node_counts: &[usize] = if args.quick { &[20] } else { &[20, 30] };
     eprintln!(
         "table_sched: heuristic trees vs synthesized schedule, {:?} nodes, {} instances per point",
@@ -221,13 +225,11 @@ fn main() {
         }
     }
 
-    eprintln!(
-        "table_sched: cut generation solved {lp_instances} instances in {lp_rounds} master \
-         rounds, {lp_pivots} simplex pivots total (warm-started dual simplex)"
-    );
+    print_solver_stats("table_sched", lp_instances, lp_rounds, lp_pivots);
     println!("\ntable_sched — single-tree heuristics vs synthesized periodic schedule (one-port, relative to LP optimum)");
     println!("{}", table.render());
     if let Some(path) = &args.csv {
         write_csv_or_exit(path, &header, &csv_rows);
     }
+    finish_journal_or_exit();
 }

@@ -14,6 +14,12 @@ pub struct ExperimentArgs {
     pub csv: Option<String>,
     /// Restrict the sweep to smaller platforms (quick smoke run).
     pub quick: bool,
+    /// Optional bcast-obs journal output path (`--journal`). When set, the
+    /// binary installs the observability sink and writes one JSONL event
+    /// record per LP solve / separation round / repair, closed by the
+    /// span/counter dumps; `solver_report` ingests the file. Unset (the
+    /// default) leaves instrumentation at its zero-cost disabled path.
+    pub journal: Option<String>,
 }
 
 impl Default for ExperimentArgs {
@@ -23,6 +29,7 @@ impl Default for ExperimentArgs {
             seed: 2004,
             csv: None,
             quick: false,
+            journal: None,
         }
     }
 }
@@ -49,11 +56,15 @@ impl ExperimentArgs {
                 "--csv" => {
                     out.csv = Some(iter.next().ok_or("--csv needs a path")?);
                 }
+                "--journal" => {
+                    out.journal = Some(iter.next().ok_or("--journal needs a path")?);
+                }
                 "--full" => out.configs = full_configs,
                 "--quick" => out.quick = true,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--configs N] [--full] [--quick] [--seed S] [--csv PATH]"
+                        "usage: [--configs N] [--full] [--quick] [--seed S] [--csv PATH] \
+                         [--journal PATH]"
                             .to_string(),
                     )
                 }
@@ -101,12 +112,15 @@ mod tests {
             "99",
             "--csv",
             "out.csv",
+            "--journal",
+            "run.jsonl",
             "--quick",
         ])
         .unwrap();
         assert_eq!(a.configs, 7);
         assert_eq!(a.seed, 99);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.journal.as_deref(), Some("run.jsonl"));
         assert!(a.quick);
     }
 
@@ -122,6 +136,7 @@ mod tests {
         assert!(parse(&["--configs", "zero"]).is_err());
         assert!(parse(&["--configs", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--journal"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }
 }

@@ -1,0 +1,33 @@
+//! Journal plumbing shared by the experiment binaries.
+//!
+//! Each binary accepts `--journal PATH` (see [`crate::ExperimentArgs`]);
+//! these helpers turn that option into an installed `bcast-obs` sink at
+//! startup and a flushed, closed file at exit. I/O failures abort the run
+//! with a message, so a truncated journal is never mistaken for a complete
+//! one (`solver_report --check` would reject it anyway — the `run_end`
+//! record only lands in the flush).
+
+use std::path::Path;
+
+/// Installs the bcast-obs journal at `path` (when one was requested),
+/// tagging the `meta` record with the producing binary's name. Exits with
+/// status 2 when the file cannot be created. A `None` path leaves the
+/// instrumentation at its zero-cost disabled state.
+pub fn install_journal_or_exit(path: &Option<String>, binary: &str) {
+    if let Some(path) = path {
+        if let Err(error) = bcast_obs::install_journal(Path::new(path), binary) {
+            eprintln!("cannot create journal {path}: {error}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Appends the span/counter dumps and the `run_end` record, then flushes
+/// and closes the installed journal, if any. Exits with status 2 when the
+/// dump cannot be written.
+pub fn finish_journal_or_exit() {
+    if let Err(error) = bcast_obs::flush_journal() {
+        eprintln!("cannot finish journal: {error}");
+        std::process::exit(2);
+    }
+}

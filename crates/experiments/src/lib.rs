@@ -14,20 +14,23 @@
 //!
 //! All binaries accept `--configs N` (instances per parameter point,
 //! default 3), `--full` (the paper's 10 instances per point, 100 for
-//! Table 3), `--seed S` and `--csv PATH`. Results are printed as aligned
-//! ASCII tables mirroring the paper's presentation and optionally written as
-//! CSV for plotting.
+//! Table 3), `--seed S`, `--csv PATH` and `--journal PATH` (a `bcast-obs`
+//! JSONL event journal, readable by `solver_report`). Results are printed
+//! as aligned ASCII tables mirroring the paper's presentation and
+//! optionally written as CSV for plotting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod journal;
 pub mod output;
 pub mod sweep;
 
 pub use cli::ExperimentArgs;
+pub use journal::{finish_journal_or_exit, install_journal_or_exit};
 pub use output::{write_csv, write_csv_or_exit, AsciiTable};
 pub use sweep::{
-    aggregate_relative, random_sweep, solver_totals, tiers_sweep, RandomSweepConfig, SweepPoint,
-    SweepRecord, TiersSweepConfig,
+    aggregate_relative, print_solver_stats, random_sweep, solver_totals, tiers_sweep,
+    RandomSweepConfig, SweepPoint, SweepRecord, TiersSweepConfig,
 };

@@ -208,6 +208,7 @@ fn evaluate_instance(
     heuristics: &[HeuristicKind],
     seed_cuts: Vec<NodeCutSet>,
 ) -> (Vec<SweepRecord>, Vec<NodeCutSet>) {
+    let _span = bcast_obs::span!("sweep.instance");
     let options = CutGenOptions {
         seed_cuts,
         ..CutGenOptions::default()
@@ -329,6 +330,17 @@ pub fn solver_totals(records: &[SweepRecord]) -> (usize, usize, usize) {
         pivots += r.simplex_iterations;
     }
     (instances, rounds, pivots)
+}
+
+/// Prints (on stderr, like all progress chatter) the solver-totals stats
+/// line shared by the table binaries. `binary` is the program-name prefix;
+/// the wording is part of the binaries' observable output and must not
+/// drift between them.
+pub fn print_solver_stats(binary: &str, instances: usize, rounds: usize, pivots: usize) {
+    eprintln!(
+        "{binary}: cut generation solved {instances} instances in {rounds} master rounds, \
+         {pivots} simplex pivots total (warm-started dual simplex)"
+    );
 }
 
 /// Aggregates records: for every `(group, heuristic)` pair, the mean and

@@ -169,6 +169,8 @@ impl EtaBasis {
         pivot_tol: f64,
         work: &mut ScatterVec,
     ) -> Option<Vec<usize>> {
+        let _span = bcast_obs::span!(bcast_obs::names::SPAN_REFACTOR);
+        bcast_obs::counter_add(bcast_obs::names::LP_REFACTORIZATIONS, 1);
         debug_assert_eq!(basis.len(), m);
         self.m = m;
         self.etas.clear();
@@ -228,6 +230,7 @@ impl EtaBasis {
     pub(crate) fn update(&mut self, alpha: &ScatterVec, pivot_row: u32) {
         self.push_eta(alpha, pivot_row);
         self.updates += 1;
+        bcast_obs::gauge_set(bcast_obs::names::LP_ETA_LEN, self.etas.len() as f64);
     }
 
     fn push_eta(&mut self, v: &ScatterVec, pivot_row: u32) {
@@ -251,7 +254,14 @@ impl EtaBasis {
     }
 
     /// FTRAN: overwrites `w` with `B⁻¹ w` (sparse in, sparse out).
+    ///
+    /// The span guard here (and on the BTRANs below) is one relaxed atomic
+    /// load when instrumentation is off. When it is on, the guard itself
+    /// costs a few hundred nanoseconds per call, which on kernels this
+    /// small makes the journaled `lp.ftran`/`lp.btran` times *upper
+    /// bounds* — fine for the phase split `solver_report` prints.
     pub(crate) fn ftran(&self, w: &mut ScatterVec) {
+        let _span = bcast_obs::span!(bcast_obs::names::SPAN_FTRAN);
         for eta in &self.etas {
             let wp = w.get(eta.pivot);
             if wp == 0.0 {
@@ -267,6 +277,7 @@ impl EtaBasis {
 
     /// BTRAN: overwrites `y` with `B⁻ᵀ y` (sparse in, sparse out).
     pub(crate) fn btran(&self, y: &mut ScatterVec) {
+        let _span = bcast_obs::span!(bcast_obs::names::SPAN_BTRAN);
         for eta in self.etas.iter().rev() {
             let mut s = y.get(eta.pivot);
             for &(i, v) in &eta.nz {
@@ -279,6 +290,7 @@ impl EtaBasis {
     /// Dense BTRAN for vectors that are not usefully sparse (the pricing
     /// vector `y = B⁻ᵀ c_B`).
     pub(crate) fn btran_dense(&self, y: &mut [f64]) {
+        let _span = bcast_obs::span!(bcast_obs::names::SPAN_BTRAN);
         for eta in self.etas.iter().rev() {
             let mut s = y[eta.pivot as usize];
             for &(i, v) in &eta.nz {

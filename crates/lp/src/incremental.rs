@@ -786,6 +786,7 @@ impl SimplexState {
             None => {}
         }
         self.stats.total_pivots += pivots;
+        bcast_obs::counter_add(bcast_obs::names::LP_PIVOTS, pivots as u64);
         if !ok {
             self.fact = None;
             self.stats.refactorizations += 1;
@@ -844,6 +845,48 @@ impl SimplexState {
     /// re-solves cold, which is authoritative for the feasible / unbounded
     /// verdict and is counted in [`IncrementalStats::refactorizations`].
     pub fn resolve(&mut self) -> Result<LpSolution, LpError> {
+        if !bcast_obs::enabled() {
+            return self.resolve_inner();
+        }
+        let warm = self.fact.is_some();
+        let _span = if warm {
+            bcast_obs::span!(bcast_obs::names::SPAN_LP_RESOLVE)
+        } else {
+            bcast_obs::span!(bcast_obs::names::SPAN_LP_SOLVE)
+        };
+        let start = std::time::Instant::now();
+        let (rows, cols) = (self.rows.len(), self.num_vars());
+        let result = self.resolve_inner();
+        let pivots = result.as_ref().map_or(0, |sol| sol.iterations) as u64;
+        bcast_obs::counter_add(
+            if warm {
+                bcast_obs::names::LP_RESOLVES
+            } else {
+                bcast_obs::names::LP_COLD_SOLVES
+            },
+            1,
+        );
+        bcast_obs::counter_add(bcast_obs::names::LP_PIVOTS, pivots);
+        bcast_obs::emit_with(|| bcast_obs::Event::LpSolve {
+            kind: if warm {
+                bcast_obs::LpSolveKind::Resolve
+            } else {
+                bcast_obs::LpSolveKind::Cold
+            },
+            engine: match self.options.engine {
+                SimplexEngine::Sparse => "sparse",
+                SimplexEngine::Dense => "dense",
+            },
+            rows,
+            cols,
+            pivots,
+            status: simplex::solve_status_str(&result),
+            t_ns: start.elapsed().as_nanos() as u64,
+        });
+        result
+    }
+
+    fn resolve_inner(&mut self) -> Result<LpSolution, LpError> {
         if self.fact.is_none() {
             return self.cold_solve();
         }

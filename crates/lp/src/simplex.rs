@@ -701,9 +701,45 @@ pub(crate) fn maximization_cost(problem: &LpProblem, cols: usize) -> Vec<f64> {
 /// Solves `problem` with the given options, dispatching on
 /// [`SimplexOptions::engine`].
 pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
+    if !bcast_obs::enabled() {
+        return solve_inner(problem, options);
+    }
+    let _span = bcast_obs::span!(bcast_obs::names::SPAN_LP_SOLVE);
+    let start = std::time::Instant::now();
+    let result = solve_inner(problem, options);
+    let pivots = result.as_ref().map_or(0, |sol| sol.iterations) as u64;
+    bcast_obs::counter_add(bcast_obs::names::LP_COLD_SOLVES, 1);
+    bcast_obs::counter_add(bcast_obs::names::LP_PIVOTS, pivots);
+    bcast_obs::emit_with(|| bcast_obs::Event::LpSolve {
+        kind: bcast_obs::LpSolveKind::Cold,
+        engine: match options.engine {
+            SimplexEngine::Sparse => "sparse",
+            SimplexEngine::Dense => "dense",
+        },
+        rows: problem.constraints().len(),
+        cols: problem.num_vars(),
+        pivots,
+        status: solve_status_str(&result),
+        t_ns: start.elapsed().as_nanos() as u64,
+    });
+    result
+}
+
+fn solve_inner(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
     match options.engine {
         SimplexEngine::Sparse => crate::sparse::solve(problem, options),
         SimplexEngine::Dense => solve_dense(problem, options),
+    }
+}
+
+/// Journal status tag of a solve outcome.
+pub(crate) fn solve_status_str(result: &Result<LpSolution, LpError>) -> &'static str {
+    match result {
+        Ok(_) => "optimal",
+        Err(LpError::Infeasible) => "infeasible",
+        Err(LpError::Unbounded) => "unbounded",
+        Err(LpError::IterationLimit) => "iteration_limit",
+        Err(_) => "error",
     }
 }
 

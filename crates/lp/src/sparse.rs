@@ -222,6 +222,9 @@ pub(crate) struct SparseSimplex {
     /// False whenever the factorization no longer matches `prob` (structural
     /// edits, appended/deleted rows); the loops refactorize on entry.
     factorized: bool,
+    /// True when the last solve attempt aborted on a singular
+    /// refactorization (see [`Self::singular_bailout`]).
+    singular: bool,
 }
 
 impl SparseSimplex {
@@ -241,6 +244,7 @@ impl SparseSimplex {
             ws_tab: ScatterVec::default(),
             ws_fact: ScatterVec::default(),
             factorized: false,
+            singular: false,
         }
     }
 
@@ -265,6 +269,7 @@ impl SparseSimplex {
             options.pivot_tolerance,
             &mut self.ws_fact,
         ) else {
+            self.singular = true;
             return false;
         };
         self.prob.basis = new_basis;
@@ -799,34 +804,50 @@ impl SparseSimplex {
     /// Runs phase 1 (when artificials exist) and phase 2, mirroring the
     /// dense `simplex::two_phase` semantics and error mapping.
     ///
-    /// An [`LpError::IterationLimit`] from the first attempt is retried
-    /// **once** from the initial basis with per-pivot refactorization
+    /// An [`LpError::IterationLimit`] from the first attempt is retried once
+    /// from the initial basis with per-pivot refactorization
     /// (`refactor_interval = 1`): virtually every such failure is eta-file
     /// drift — a pivot taken on accumulated FTRAN noise can make the basis
-    /// exactly singular on the ±1 cut-row structure — and a maximally fresh
-    /// factorization cannot accumulate that noise. The retry is the sparse
-    /// engine's own authoritative fallback; only a genuine budget
-    /// exhaustion surfaces as an error.
+    /// exactly singular on the ±1 cut-row structure, and a maximally fresh
+    /// factorization cannot accumulate that noise.
+    ///
+    /// The retry does **not** rescue a trajectory that walks into a basis
+    /// whose refactorization is singular even when freshly built every
+    /// pivot (seen with Devex on a drifted random-20 master at seed 2004:
+    /// the restricted partial pivoting of the eta LU loses the basis to
+    /// cancellation while the dense tableau's full-row pivoting solves the
+    /// same LP in a few hundred pivots). Those failures leave
+    /// [`singular_bailout`](Self::singular_bailout) set so [`solve`] can
+    /// distinguish them from genuine budget exhaustion and fall back to
+    /// the dense engine.
     pub(crate) fn two_phase(
         &mut self,
         phase2_cost: &[f64],
         options: &SimplexOptions,
     ) -> Result<usize, LpError> {
+        self.singular = false;
         let basis0 = self.prob.basis.clone();
         let allowed0 = self.prob.allowed.clone();
-        match self.two_phase_inner(phase2_cost, options) {
-            Err(LpError::IterationLimit) if options.refactor_interval > 1 => {
-                self.prob.basis = basis0;
-                self.prob.allowed = allowed0;
-                self.factorized = false;
-                let retry = SimplexOptions {
-                    refactor_interval: 1,
-                    ..*options
-                };
-                self.two_phase_inner(phase2_cost, &retry)
-            }
-            other => other,
+        let mut result = self.two_phase_inner(phase2_cost, options);
+        if matches!(result, Err(LpError::IterationLimit)) && options.refactor_interval > 1 {
+            self.singular = false;
+            self.prob.basis = basis0;
+            self.prob.allowed = allowed0;
+            self.factorized = false;
+            let retry = SimplexOptions {
+                refactor_interval: 1,
+                ..*options
+            };
+            result = self.two_phase_inner(phase2_cost, &retry);
         }
+        result
+    }
+
+    /// True when the last [`two_phase`](Self::two_phase) attempt hit a
+    /// singular refactorization (as opposed to exhausting the iteration
+    /// budget).
+    pub(crate) fn singular_bailout(&self) -> bool {
+        self.singular
     }
 
     fn two_phase_inner(
@@ -1079,7 +1100,21 @@ pub(crate) fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpS
     let prob = assemble_sparse(n, problem.constraints());
     let cost = simplex::maximization_cost(problem, prob.ncols);
     let mut sim = SparseSimplex::new(prob);
-    let iterations = sim.two_phase(&cost, options)?;
+    let iterations = match sim.two_phase(&cost, options) {
+        Ok(iterations) => iterations,
+        // A singular bailout is a factorization defeat, not a budget
+        // verdict: the eta LU's partial pivoting is restricted to rows not
+        // yet claimed by earlier columns, so a basis the pricing trajectory
+        // legitimately reached can be lost to cancellation that the dense
+        // tableau's full-row pivoting absorbs. The dense engine is the
+        // authoritative oracle for every LP in this workspace; answering
+        // slowly beats not answering. Genuine budget exhaustion (no
+        // singular flag) still surfaces as `IterationLimit`.
+        Err(LpError::IterationLimit) if sim.singular_bailout() => {
+            return simplex::solve_dense(problem, options);
+        }
+        Err(e) => return Err(e),
+    };
     let values = sim.extract_values(n);
     let objective = problem.eval_objective(&values);
     Ok(LpSolution {

@@ -1,0 +1,65 @@
+//! `solver_report` — ingest a bcast-obs journal and print the per-phase
+//! time/pivot breakdown.
+//!
+//! ```text
+//! solver_report <journal.jsonl>          validate + print the breakdown
+//! solver_report <journal.jsonl> --check  validate only (CI schema gate)
+//! ```
+//!
+//! Exits non-zero when the journal fails schema validation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut check_only = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            "--help" | "-h" => {
+                eprintln!("usage: solver_report <journal.jsonl> [--check]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other),
+            other => {
+                eprintln!("solver_report: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: solver_report <journal.jsonl> [--check]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("solver_report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match bcast_obs::report::check(&text) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("solver_report: {path}: schema violation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if check_only {
+        let types: Vec<String> = summary
+            .by_type
+            .iter()
+            .map(|(t, n)| format!("{t}:{n}"))
+            .collect();
+        println!(
+            "journal OK: {} records ({})",
+            summary.records,
+            types.join(", ")
+        );
+        return ExitCode::SUCCESS;
+    }
+    let report = bcast_obs::report::build_report(&text);
+    print!("{}", bcast_obs::report::render(&report));
+    ExitCode::SUCCESS
+}

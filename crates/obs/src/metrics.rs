@@ -1,0 +1,106 @@
+//! The counter/gauge registry.
+//!
+//! Counters are monotone `u64` sums, gauges are last-write-wins `f64`
+//! levels; both are addressed by stable dotted names (see
+//! [`crate::names`]). The registry unifies the pipeline's previously
+//! ad-hoc statistics — pivots, refactorizations, eta-file length,
+//! cut-generation rounds, cuts added/purged/reused, separations
+//! run/screened, repair grafts/prunes — behind one queryable surface, and
+//! [`crate::flush_journal`] dumps it (sorted by name) into the journal.
+//!
+//! Like spans, every operation is a single relaxed atomic load while the
+//! sink is disabled.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+static COUNTERS: Mutex<Option<HashMap<&'static str, u64>>> = Mutex::new(None);
+static GAUGES: Mutex<Option<HashMap<&'static str, f64>>> = Mutex::new(None);
+
+/// Adds `delta` to the counter `name`. No-op while the sink is disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !crate::enabled() || delta == 0 {
+        return;
+    }
+    let mut counters = COUNTERS.lock().expect("counter registry poisoned");
+    *counters
+        .get_or_insert_with(HashMap::new)
+        .entry(name)
+        .or_insert(0) += delta;
+}
+
+/// Sets the gauge `name` to `value` (last write wins). No-op while the
+/// sink is disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut gauges = GAUGES.lock().expect("gauge registry poisoned");
+    gauges.get_or_insert_with(HashMap::new).insert(name, value);
+}
+
+/// Snapshot of every counter, sorted by name.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    let counters = COUNTERS.lock().expect("counter registry poisoned");
+    let mut out: Vec<(&'static str, u64)> = counters
+        .as_ref()
+        .map(|map| map.iter().map(|(&k, &v)| (k, v)).collect())
+        .unwrap_or_default();
+    out.sort_by(|a, b| a.0.cmp(b.0));
+    out
+}
+
+/// Snapshot of every gauge, sorted by name.
+pub fn gauges_snapshot() -> Vec<(&'static str, f64)> {
+    let gauges = GAUGES.lock().expect("gauge registry poisoned");
+    let mut out: Vec<(&'static str, f64)> = gauges
+        .as_ref()
+        .map(|map| map.iter().map(|(&k, &v)| (k, v)).collect())
+        .unwrap_or_default();
+    out.sort_by(|a, b| a.0.cmp(b.0));
+    out
+}
+
+/// Clears every counter and gauge.
+pub fn reset_metrics() {
+    *COUNTERS.lock().expect("counter registry poisoned") = None;
+    *GAUGES.lock().expect("gauge registry poisoned") = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::sink_lock;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let _guard = sink_lock();
+        crate::enable();
+        reset_metrics();
+        counter_add("test.pivots", 3);
+        counter_add("test.pivots", 4);
+        counter_add("test.rounds", 1);
+        gauge_set("test.eta_len", 10.0);
+        gauge_set("test.eta_len", 7.5);
+        crate::disable();
+        assert_eq!(
+            counters_snapshot(),
+            vec![("test.pivots", 7), ("test.rounds", 1)]
+        );
+        assert_eq!(gauges_snapshot(), vec![("test.eta_len", 7.5)]);
+        reset_metrics();
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let _guard = sink_lock();
+        crate::disable();
+        reset_metrics();
+        counter_add("test.ignored", 5);
+        gauge_set("test.ignored", 1.0);
+        assert!(counters_snapshot().is_empty());
+        assert!(gauges_snapshot().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! The stable dotted-name vocabulary of the pipeline's counters, gauges,
+//! and spans.
+//!
+//! These constants are the *metrics surface* other tools (the journal, the
+//! `solver_report` breakdown, and eventually the `bcast-service` daemon
+//! export) key on — renaming one is a schema change and must bump
+//! [`crate::journal::SCHEMA`].
+
+// ---- counters ----------------------------------------------------------
+
+/// Simplex pivots, both engines, primal and dual passes.
+pub const LP_PIVOTS: &str = "lp.pivots";
+/// Basis refactorizations (sparse eta-file rebuilds and dense incremental
+/// refactorizations alike).
+pub const LP_REFACTORIZATIONS: &str = "lp.refactorizations";
+/// LP (re-)solves that went through an incremental [`SimplexState`] resolve.
+pub const LP_RESOLVES: &str = "lp.resolves";
+/// One-shot (cold) LP solves.
+pub const LP_COLD_SOLVES: &str = "lp.cold_solves";
+/// Master-LP separation rounds of the cut-generation loop.
+pub const CUTGEN_ROUNDS: &str = "cut_gen.rounds";
+/// Cuts added (or reactivated) into the master LP.
+pub const CUTGEN_CUTS_ADDED: &str = "cut_gen.cuts_added";
+/// Cuts purged from the master after staying non-binding.
+pub const CUTGEN_CUTS_PURGED: &str = "cut_gen.cuts_purged";
+/// Active cuts carried across session steps (the cut-pool warm start).
+pub const CUTGEN_CUTS_REUSED: &str = "cut_gen.cuts_reused";
+/// Per-destination separation max-flows actually run.
+pub const CUTGEN_SEPARATIONS_RUN: &str = "cut_gen.separations_run";
+/// Per-destination separation max-flows skipped by the screen.
+pub const CUTGEN_SEPARATIONS_SCREENED: &str = "cut_gen.separations_screened";
+/// Nodes grafted onto kept trees by churn repair.
+pub const SCHED_GRAFTS: &str = "sched.repair.grafts";
+/// Nodes pruned from kept trees by churn repair.
+pub const SCHED_PRUNES: &str = "sched.repair.prunes";
+/// Previous-period trees kept by a schedule repair.
+pub const SCHED_KEPT_TREES: &str = "sched.repair.kept_trees";
+/// Repairs that fell back to a full synthesis.
+pub const SCHED_FULL_REBUILDS: &str = "sched.repair.full_rebuilds";
+/// Point-to-point transfers replayed by the schedule simulator.
+pub const SIM_TRANSFERS: &str = "sim.transfers";
+
+// ---- gauges ------------------------------------------------------------
+
+/// Eta-file length of the sparse basis after the most recent pivot.
+pub const LP_ETA_LEN: &str = "lp.eta_len";
+
+// ---- span names --------------------------------------------------------
+//
+// Span paths are contextual (`/`-joined chains of these names); the
+// constants below are the vocabulary of the individual frames.
+
+/// Sparse FTRAN kernel (`B⁻¹ a`).
+pub const SPAN_FTRAN: &str = "lp.ftran";
+/// Sparse BTRAN kernel (`B⁻ᵀ y`).
+pub const SPAN_BTRAN: &str = "lp.btran";
+/// Basis refactorization (sparse Gauss–Jordan eta rebuild).
+pub const SPAN_REFACTOR: &str = "lp.refactor";
+/// One-shot LP solve (either engine).
+pub const SPAN_LP_SOLVE: &str = "lp.solve";
+/// Incremental re-optimization of a persistent [`SimplexState`].
+pub const SPAN_LP_RESOLVE: &str = "lp.resolve";
+/// One cut-generation solve (a `CutGenSession` step or one-shot solve).
+pub const SPAN_CUTGEN_SOLVE: &str = "cut_gen.solve";
+/// The master-LP (re-)solve inside a cut-generation round.
+pub const SPAN_CUTGEN_MASTER: &str = "cut_gen.master";
+/// The per-destination max-flow separation inside a round.
+pub const SPAN_CUTGEN_SEPARATION: &str = "cut_gen.separation";
+/// Full schedule synthesis.
+pub const SPAN_SCHED_SYNTHESIZE: &str = "sched.synthesize";
+/// Incremental schedule repair (drift).
+pub const SPAN_SCHED_REPAIR: &str = "sched.repair";
+/// Incremental schedule repair across node churn.
+pub const SPAN_SCHED_REPAIR_CHURN: &str = "sched.repair_churn";
+/// Schedule replay in the simulator.
+pub const SPAN_SIM_REPLAY: &str = "sim.replay";

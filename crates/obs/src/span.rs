@@ -1,0 +1,207 @@
+//! Hierarchical span timers.
+//!
+//! A span is opened with [`SpanGuard::enter`] (usually through the
+//! [`span!`](crate::span!) macro) and closed by dropping the guard. Guards
+//! nest through a thread-local stack of names; on close, the wall-clock of
+//! the span is accumulated under its *path* — the `/`-joined chain of the
+//! names active at that moment — together with a call count. Paths make the
+//! same leaf observable per context (`lp.ftran` under a warm drift step vs
+//! under a cold baseline solve), which is exactly the view `solver_report`
+//! prints.
+//!
+//! Closing is unwind-safe: the guard pops the stack in `Drop`, which runs
+//! during panic unwinding too, so a caught panic leaves the stack balanced
+//! (asserted by the unit tests below).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulated statistics of one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans recorded under this path.
+    pub calls: u64,
+    /// Total wall-clock of those spans, in nanoseconds (inclusive of
+    /// child spans).
+    pub total_ns: u64,
+}
+
+/// Global path → statistics accumulator.
+static REGISTRY: Mutex<Option<HashMap<String, SpanStat>>> = Mutex::new(None);
+
+/// RAII guard of one open span. Created by [`SpanGuard::enter`]; dropping
+/// it closes the span and accumulates its wall-clock.
+#[must_use = "a span guard times until it is dropped; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    /// `None` when the sink was disabled at entry: the drop is then free
+    /// (and must not pop a stack entry it never pushed).
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`. While the sink is disabled this is a
+    /// single relaxed atomic load and the returned guard does nothing.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { start: None };
+        }
+        STACK.with(|stack| stack.borrow_mut().push(name));
+        SpanGuard {
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            let path = STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                let path = stack.join("/");
+                stack.pop();
+                path
+            });
+            record(path, elapsed);
+        }
+    }
+}
+
+/// Accumulates one completed span under `path`.
+fn record(path: String, elapsed: Duration) {
+    let mut registry = REGISTRY.lock().expect("span registry poisoned");
+    let stat = registry
+        .get_or_insert_with(HashMap::new)
+        .entry(path)
+        .or_default();
+    stat.calls += 1;
+    stat.total_ns += elapsed.as_nanos() as u64;
+}
+
+/// The current span path of this thread (names `/`-joined, empty when no
+/// span is open). Used to tag journal events with their phase.
+pub(crate) fn current_path() -> String {
+    STACK.with(|stack| stack.borrow().join("/"))
+}
+
+/// Depth of this thread's span stack (exposed for the unwind-safety tests).
+pub fn stack_depth() -> usize {
+    STACK.with(|stack| stack.borrow().len())
+}
+
+/// Snapshot of the accumulated span statistics, sorted by path.
+pub fn span_stats() -> Vec<(String, SpanStat)> {
+    let registry = REGISTRY.lock().expect("span registry poisoned");
+    let mut stats: Vec<(String, SpanStat)> = registry
+        .as_ref()
+        .map(|map| map.iter().map(|(k, &v)| (k.clone(), v)).collect())
+        .unwrap_or_default();
+    stats.sort_by(|a, b| a.0.cmp(&b.0));
+    stats
+}
+
+/// Clears the accumulated span statistics.
+pub fn reset_spans() {
+    let mut registry = REGISTRY.lock().expect("span registry poisoned");
+    *registry = None;
+}
+
+/// Runs `f` under a span named `name` and returns its result together with
+/// the measured wall-clock. The duration is measured with an independent
+/// clock read, so it is available — and identical in meaning — whether the
+/// sink is enabled or not: the experiment binaries print it either way,
+/// keeping their stdout independent of the instrumentation state.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let guard = SpanGuard::enter(name);
+    let out = f();
+    drop(guard);
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::sink_lock;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = sink_lock();
+        crate::disable();
+        reset_spans();
+        {
+            let _a = SpanGuard::enter("outer");
+            let _b = SpanGuard::enter("inner");
+        }
+        assert!(span_stats().is_empty());
+        assert_eq!(stack_depth(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_accumulate_per_path() {
+        let _guard = sink_lock();
+        crate::enable();
+        reset_spans();
+        {
+            let _a = SpanGuard::enter("outer");
+            for _ in 0..3 {
+                let _b = SpanGuard::enter("inner");
+            }
+        }
+        {
+            let _c = SpanGuard::enter("inner"); // same leaf, different path
+        }
+        crate::disable();
+        let stats = span_stats();
+        let by_path: std::collections::HashMap<&str, SpanStat> =
+            stats.iter().map(|(p, s)| (p.as_str(), *s)).collect();
+        assert_eq!(by_path["outer"].calls, 1);
+        assert_eq!(by_path["outer/inner"].calls, 3);
+        assert_eq!(by_path["inner"].calls, 1);
+        assert!(by_path["outer"].total_ns >= by_path["outer/inner"].total_ns);
+        assert_eq!(stack_depth(), 0);
+        reset_spans();
+    }
+
+    #[test]
+    fn panic_unwind_pops_the_stack() {
+        let _guard = sink_lock();
+        crate::enable();
+        reset_spans();
+        let result = std::panic::catch_unwind(|| {
+            let _a = SpanGuard::enter("unwound");
+            let _b = SpanGuard::enter("deep");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        crate::disable();
+        // Both guards dropped during unwinding: stack balanced, both spans
+        // recorded.
+        assert_eq!(stack_depth(), 0);
+        let stats = span_stats();
+        assert!(stats.iter().any(|(p, _)| p == "unwound"));
+        assert!(stats.iter().any(|(p, _)| p == "unwound/deep"));
+        reset_spans();
+    }
+
+    #[test]
+    fn timed_returns_the_closure_result_and_a_duration() {
+        let _guard = sink_lock();
+        crate::disable();
+        reset_spans();
+        let (value, elapsed) = timed("timed.disabled", || 41 + 1);
+        assert_eq!(value, 42);
+        // Elapsed is measured even with the sink off…
+        assert!(elapsed.as_nanos() > 0 || elapsed.is_zero());
+        // …but nothing is recorded.
+        assert!(span_stats().is_empty());
+    }
+}

@@ -92,6 +92,33 @@ pub fn synthesize_schedule(
     slice_size: f64,
     config: &SynthesisConfig,
 ) -> Result<PeriodicSchedule, SchedError> {
+    if !bcast_obs::enabled() {
+        return synthesize_schedule_inner(platform, source, optimal, slice_size, config);
+    }
+    let _span = bcast_obs::span!(bcast_obs::names::SPAN_SCHED_SYNTHESIZE);
+    let start = std::time::Instant::now();
+    let result = synthesize_schedule_inner(platform, source, optimal, slice_size, config);
+    if let Ok(schedule) = &result {
+        bcast_obs::emit_with(|| bcast_obs::Event::SchedRepair {
+            kind: bcast_obs::RepairKind::Synthesize,
+            full_rebuild: false,
+            kept: 0,
+            grafted: 0,
+            pruned: 0,
+            efficiency: schedule.efficiency(),
+            t_ns: start.elapsed().as_nanos() as u64,
+        });
+    }
+    result
+}
+
+fn synthesize_schedule_inner(
+    platform: &Platform,
+    source: NodeId,
+    optimal: &OptimalThroughput,
+    slice_size: f64,
+    config: &SynthesisConfig,
+) -> Result<PeriodicSchedule, SchedError> {
     if platform.node_count() == 0 {
         return Err(SchedError::EmptyPlatform);
     }
@@ -297,6 +324,57 @@ pub fn resynthesize_schedule(
     config: &SynthesisConfig,
     previous: &PeriodicSchedule,
 ) -> Result<(PeriodicSchedule, RepairReport), SchedError> {
+    if !bcast_obs::enabled() {
+        return resynthesize_schedule_inner(
+            platform, source, optimal, slice_size, config, previous,
+        );
+    }
+    let _span = bcast_obs::span!(bcast_obs::names::SPAN_SCHED_REPAIR);
+    let start = std::time::Instant::now();
+    let result =
+        resynthesize_schedule_inner(platform, source, optimal, slice_size, config, previous);
+    if let Ok((schedule, report)) = &result {
+        record_repair(
+            bcast_obs::RepairKind::Repair,
+            schedule,
+            report,
+            start.elapsed().as_nanos() as u64,
+        );
+    }
+    result
+}
+
+/// Shared counter/journal bookkeeping of the two repair entry points.
+fn record_repair(
+    kind: bcast_obs::RepairKind,
+    schedule: &PeriodicSchedule,
+    report: &RepairReport,
+    t_ns: u64,
+) {
+    use bcast_obs::names;
+    bcast_obs::counter_add(names::SCHED_KEPT_TREES, report.kept_trees as u64);
+    bcast_obs::counter_add(names::SCHED_FULL_REBUILDS, report.full_rebuild as u64);
+    bcast_obs::counter_add(names::SCHED_GRAFTS, report.grafted_nodes as u64);
+    bcast_obs::counter_add(names::SCHED_PRUNES, report.pruned_nodes as u64);
+    bcast_obs::emit_with(|| bcast_obs::Event::SchedRepair {
+        kind,
+        full_rebuild: report.full_rebuild,
+        kept: report.kept_trees as u64,
+        grafted: report.grafted_nodes as u64,
+        pruned: report.pruned_nodes as u64,
+        efficiency: schedule.efficiency(),
+        t_ns,
+    });
+}
+
+fn resynthesize_schedule_inner(
+    platform: &Platform,
+    source: NodeId,
+    optimal: &OptimalThroughput,
+    slice_size: f64,
+    config: &SynthesisConfig,
+    previous: &PeriodicSchedule,
+) -> Result<(PeriodicSchedule, RepairReport), SchedError> {
     let full_rebuild =
         |platform: &Platform| -> Result<(PeriodicSchedule, RepairReport), SchedError> {
             let schedule = synthesize_schedule(platform, source, optimal, slice_size, config)?;
@@ -457,6 +535,37 @@ pub fn resynthesize_schedule_churn(
     previous: &PeriodicSchedule,
     remap: &ChurnRemap,
 ) -> Result<(PeriodicSchedule, RepairReport), SchedError> {
+    if !bcast_obs::enabled() {
+        return resynthesize_schedule_churn_inner(
+            platform, source, optimal, slice_size, config, previous, remap,
+        );
+    }
+    let _span = bcast_obs::span!(bcast_obs::names::SPAN_SCHED_REPAIR_CHURN);
+    let start = std::time::Instant::now();
+    let result = resynthesize_schedule_churn_inner(
+        platform, source, optimal, slice_size, config, previous, remap,
+    );
+    if let Ok((schedule, report)) = &result {
+        record_repair(
+            bcast_obs::RepairKind::RepairChurn,
+            schedule,
+            report,
+            start.elapsed().as_nanos() as u64,
+        );
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resynthesize_schedule_churn_inner(
+    platform: &Platform,
+    source: NodeId,
+    optimal: &OptimalThroughput,
+    slice_size: f64,
+    config: &SynthesisConfig,
+    previous: &PeriodicSchedule,
+    remap: &ChurnRemap,
+) -> Result<(PeriodicSchedule, RepairReport), SchedError> {
     assert_eq!(
         platform.node_count(),
         remap.nodes,
@@ -468,7 +577,12 @@ pub fn resynthesize_schedule_churn(
         "remap must target the snapshot's topology"
     );
     if remap.is_identity() {
-        return resynthesize_schedule(platform, source, optimal, slice_size, config, previous);
+        // Inner variant: the churn wrapper already owns the span and the
+        // journal record for this repair; going through the public cost-
+        // repair entry point would journal the same repair twice.
+        return resynthesize_schedule_inner(
+            platform, source, optimal, slice_size, config, previous,
+        );
     }
     let full_rebuild =
         |platform: &Platform| -> Result<(PeriodicSchedule, RepairReport), SchedError> {

@@ -32,6 +32,7 @@ pub fn simulate_schedule(
     schedule: &PeriodicSchedule,
     spec: &MessageSpec,
 ) -> SimulationReport {
+    let _span = bcast_obs::span!(bcast_obs::names::SPAN_SIM_REPLAY);
     assert!(
         (spec.slice_size - schedule.slice_size()).abs() <= 1e-9 * schedule.slice_size().max(1.0),
         "message slice size {} differs from the schedule's {}",
@@ -87,6 +88,7 @@ pub fn simulate_schedule(
     // The source holds everything from the start.
     node_completion[source.index()] = 0.0;
     let makespan = slice_completion.iter().copied().fold(0.0f64, f64::max);
+    bcast_obs::counter_add(bcast_obs::names::SIM_TRANSFERS, transfers as u64);
     SimulationReport {
         slices,
         slice_completion,

@@ -311,3 +311,36 @@ fn churn_repaired_schedules_replay_at_their_stated_throughput() {
         previous = Some(schedule);
     }
 }
+
+/// Regression: a heavy leave can kill every cut in the pool (any cut whose
+/// source side contained the departed node dies) on a step with no joiner
+/// to seed a replacement. TP is only bounded through cut rows, so the warm
+/// master used to come back `Lp(Unbounded)` — first seen on this tiers-40
+/// trace (platform seed 2206, churn seed 2006, join 0.20 / leave 0.10,
+/// step 8), found by the seed-2004 drift ablation. The session must
+/// re-seed the trivial per-destination cuts and stay warm ≡ cold.
+#[test]
+fn churn_step_that_kills_every_cut_reseeds_and_stays_bounded() {
+    let mut rng = StdRng::seed_from_u64(2206);
+    let platform = tiers_platform(&TiersConfig::paper(40, 0.10), &mut rng);
+    // Same bounded probe loop as the drift ablation: the first seed in the
+    // window whose trace has at least one join and one leave.
+    let trace = (0..64u64)
+        .map(|probe| {
+            DriftTrace::generate(
+                &platform,
+                NodeId(0),
+                &DriftConfig {
+                    join_rate: 0.20,
+                    leave_rate: 0.10,
+                    ..DriftConfig::with_failures(8, 2006 + 1000 * probe)
+                },
+            )
+        })
+        .find(|t| {
+            let (joins, leaves) = churn_events(t);
+            joins > 0 && leaves > 0
+        })
+        .expect("a churn trace with both event kinds exists in the window");
+    churn_walk("cut-killing leave", &trace, 16);
+}

@@ -238,3 +238,36 @@ fn repaired_schedules_replay_at_their_stated_throughput() {
         previous = Some(schedule);
     }
 }
+
+/// Regression for the seed-2004 stall: step 7 of the random-20 trace
+/// drives the sparse Devex trajectory into a basis whose eta-file
+/// refactorization is singular even when rebuilt every pivot (the eta LU's
+/// partial pivoting is restricted to unclaimed rows, so cancellation can
+/// lose a basis the dense tableau's full-row pivoting absorbs). The cold
+/// solve used to surface this as a spurious `IterationLimit`; it must now
+/// fall back to the dense engine and agree with it.
+#[test]
+fn seed_2004_random20_step7_cold_solve_succeeds() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let platform = random_platform(&RandomPlatformConfig::paper(20, 0.12), &mut rng);
+    let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_failures(10, 2004));
+    let snapshot = trace.platform_at(7);
+    let sparse = cold_solve(&snapshot);
+    let dense = cut_gen::solve_with(
+        &snapshot,
+        NodeId(0),
+        SLICE,
+        &CutGenOptions {
+            warm_start: false,
+            lp_engine: broadcast_trees::core::SimplexEngine::Dense,
+            ..CutGenOptions::default()
+        },
+    )
+    .expect("dense reference solvable");
+    assert_rel_close(
+        sparse.optimal.throughput,
+        dense.optimal.throughput,
+        1e-6,
+        "seed-2004 step 7 throughput",
+    );
+}
