@@ -67,10 +67,12 @@ const MAX_ROUNDS: usize = 400;
 /// Relative feasibility tolerance for the separation oracle.
 const SEPARATION_TOL: f64 = 1e-7;
 
-/// Screening margin: a destination is only skipped when its last measured
-/// flow cleared the current target by this relative margin (see
-/// [`CutGenOptions::screen_separation`]).
-const SCREEN_MARGIN: f64 = 1e-6;
+/// Measurement headroom of the separation max-flow: augmentation stops at
+/// `(1 + headroom)·TP`, so a measured flow is exact up to that ceiling. The
+/// surplus above TP is what the screen's flow certificate can spend against
+/// later capacity decreases — a wider band skips more max-flows at slightly
+/// costlier measurements.
+const SCREEN_HEADROOM: f64 = 0.1;
 
 /// A source→destination cut stored as a node partition: `source_side[u]` is
 /// true when node `u` lies on the source side. The induced inequality is
@@ -132,15 +134,27 @@ pub struct CutGenOptions {
     /// Pricing rule of the sparse engine (Devex by default; Dantzig for
     /// ablation). The dense engine ignores it.
     pub pricing: PricingRule,
-    /// Cheap separation screening (the default): skip a destination's
-    /// max-flow when its previously measured flow exceeded
-    /// `(1 + margin)·TP` *and* none of its incident edge loads decreased
-    /// since that measurement. The screen is a heuristic — before the loop
-    /// may terminate, every destination skipped in the final round is
-    /// re-checked for real, so the returned optimum is exactly the
-    /// unscreened one. Skipped max-flow calls are counted in
+    /// Cheap separation screening (the default): each destination's last
+    /// measured max-flow is kept as a *flow certificate* — the per-edge
+    /// flows of its support — and the destination is skipped when the old
+    /// flow, restricted to the separation point actually being separated,
+    /// still carries at least the current TP
+    /// (`flow − Σ_e (f_e − p_e)⁺ ≥ TP`). The discounted value is a
+    /// certified lower bound on the destination's current max-flow, so the
+    /// skip is *sound*, not heuristic. Belt-and-braces, termination is
+    /// still only declared from a full unscreened pass at the true master
+    /// optimum. Skipped max-flow calls are counted in
     /// [`CutGenResult::skipped_separations`].
     pub screen_separation: bool,
+    /// Worker threads of the separation oracle: each master round's
+    /// per-destination max-flows are sharded across this many
+    /// `std::thread::scope` workers, each with its own cloned
+    /// [`MaxFlowSolver`] scratch, and the found cuts are reduced in fixed
+    /// destination order — results (and stdout, and goldens) are
+    /// byte-identical at any thread count. Defaults to
+    /// `min(available_parallelism, 4)`; `1` runs in place on the calling
+    /// thread.
+    pub separation_threads: usize,
     /// Overrides the per-solve simplex iteration budget of the *cold*
     /// master solves (`None`, the default, keeps the engine's
     /// size-derived budget). Warm re-solves budget themselves. Raising
@@ -160,9 +174,18 @@ impl Default for CutGenOptions {
             lp_engine: SimplexEngine::Sparse,
             pricing: PricingRule::Devex,
             screen_separation: true,
+            separation_threads: default_separation_threads(),
             iteration_budget: None,
         }
     }
+}
+
+/// Default worker count of the parallel separation oracle: the machine's
+/// available parallelism, capped at 4 — separation batches are short (one
+/// max-flow per violated destination), so wider fan-out drowns in thread
+/// spawn overhead before it pays.
+fn default_separation_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
 }
 
 impl CutGenOptions {
@@ -298,15 +321,16 @@ pub struct CutGenSession {
     stab_center: Vec<f64>,
 }
 
-/// Screening state of one destination: the flow measured the last time its
-/// separation max-flow actually ran, plus the loads its incident edges had
-/// at that moment.
+/// Screening state of one destination: the max-flow measured the last time
+/// its separation oracle actually ran, plus the support of that flow — a
+/// feasibility certificate that lower-bounds the destination's flow at any
+/// later capacity vector (see [`CutGenOptions::screen_separation`]).
 #[derive(Clone, Debug, Default)]
 struct DestScreen {
     valid: bool,
     flow: f64,
-    /// `(edge, load at measurement time)` for every incident edge.
-    incident_loads: Vec<(u32, f64)>,
+    /// `(edge, flow carried)` over the measured flow's support.
+    support: Vec<(u32, f64)>,
 }
 
 impl CutGenSession {
@@ -397,63 +421,129 @@ impl CutGenSession {
         self.cuts.iter().filter(|c| c.active).count()
     }
 
-    /// Runs the separation max-flow for destination index `di` (node `w`)
-    /// against `loads`, refreshes its screening state, and registers the
-    /// violated min-cut if any. Returns `true` when the master gained a cut
-    /// it did not have in its previous solve.
-    fn separate_one(
+    /// True when the screen lets destination `di` skip its max-flow at
+    /// `point`: the flow measured when its oracle last ran, restricted to
+    /// `point`'s capacities (every unit above `point[e]` cancelled), still
+    /// carries the current TP. The restricted value is a certified lower
+    /// bound on the destination's max-flow at `point` — measured flows are
+    /// only ever *under*-reported by the augmentation cap — so a skipped
+    /// destination provably has no violated cut. Termination nonetheless
+    /// re-verifies with a full unscreened pass.
+    fn can_skip(&self, di: usize, tp_value: f64, point: &[f64]) -> bool {
+        let screen = &self.screen[di];
+        if !screen.valid {
+            return false;
+        }
+        let mut certified = screen.flow;
+        for &(e, f) in &screen.support {
+            certified -= (f - point[e as usize]).max(0.0);
+            if certified < tp_value {
+                return false;
+            }
+        }
+        certified >= tp_value
+    }
+
+    /// Runs the separation max-flows for `items` (`(destination index,
+    /// node)` pairs) against `point`, sharded across
+    /// [`CutGenOptions::separation_threads`] scoped workers with cloned
+    /// [`MaxFlowSolver`] scratch. Returns, per item *in input order*, the
+    /// measured flow, its support (the screen's certificate), and the
+    /// min-cut source side when the destination was violated.
+    /// Observability stays on the calling thread.
+    #[allow(clippy::type_complexity)]
+    fn run_separations(
         &mut self,
-        platform: &Platform,
-        di: usize,
-        w: NodeId,
-        loads: &[f64],
+        items: &[(usize, NodeId)],
+        point: &[f64],
         tp_value: f64,
         tol: f64,
-    ) -> bool {
+    ) -> Vec<(f64, Vec<(u32, f64)>, Option<Vec<bool>>)> {
+        if items.is_empty() {
+            return Vec::new();
+        }
         let source = self.source;
-        bcast_obs::counter_add(bcast_obs::names::CUTGEN_SEPARATIONS_RUN, 1);
-        // The oracle only needs to know whether `w`'s flow clears TP (plus
-        // enough headroom for the screen): cap the augmentation there. A
-        // capped value is only ever *under*-reported, so the violation test
-        // below and the screen's clearance test both stay conservative.
-        let limit = tp_value * (1.0 + 2.0 * SCREEN_MARGIN) + tol;
-        let flow = self
-            .maxflow
-            .solve_limited(source, w, |e| loads[e.index()], limit);
-        let graph = platform.graph();
-        let screen = &mut self.screen[di];
-        screen.valid = true;
-        screen.flow = flow;
-        screen.incident_loads.clear();
-        screen.incident_loads.extend(
-            graph
-                .in_edges(w)
-                .chain(graph.out_edges(w))
-                .map(|e| (e.id.0, loads[e.id.index()])),
-        );
-        if flow + tol < tp_value {
+        // The oracle only needs to know whether a flow clears TP plus the
+        // screening headroom: cap the augmentation there. A capped value is
+        // only ever *under*-reported, so the violation test and the
+        // screen's certificate both stay conservative.
+        let limit = tp_value * (1.0 + SCREEN_HEADROOM) + tol;
+        let threads = self.options.separation_threads.max(1).min(items.len());
+        bcast_obs::counter_add(bcast_obs::names::CUTGEN_SEPARATIONS_RUN, items.len() as u64);
+        bcast_obs::gauge_set(bcast_obs::names::CUTGEN_SEP_WORKERS, threads as f64);
+        let separate = |solver: &mut MaxFlowSolver, w: NodeId| {
+            let flow = solver.solve_limited(source, w, |e| point[e.index()], limit);
             // The violated constraint is over the *platform* edges crossing
             // the min-cut partition — including edges whose current load is
             // zero (they are precisely the ones the master may increase).
-            let side = self.maxflow.min_cut_source_side(source).to_vec();
-            self.add_cut(platform, side)
-        } else {
-            false
+            let side = (flow + tol < tp_value).then(|| solver.min_cut_source_side(source).to_vec());
+            (flow, solver.flow_support(), side)
+        };
+        if threads <= 1 {
+            return items
+                .iter()
+                .map(|&(_, w)| separate(&mut self.maxflow, w))
+                .collect();
         }
+        bcast_obs::counter_add(bcast_obs::names::CUTGEN_PARALLEL_BATCHES, 1);
+        // Contiguous shards: every item is computed exactly once, its slot
+        // fixed by input position, so the reduction below is independent of
+        // the worker count and of scheduling order. Each worker's cloned
+        // solver rewrites all capacities and residuals per solve, so the
+        // per-item result equals the serial path's bit for bit.
+        let mut out: Vec<(f64, Vec<(u32, f64)>, Option<Vec<bool>>)> =
+            vec![(0.0, Vec::new(), None); items.len()];
+        let shard = items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (work, slots) in items.chunks(shard).zip(out.chunks_mut(shard)) {
+                let mut solver = self.maxflow.clone();
+                scope.spawn(move || {
+                    for (&(_, w), slot) in work.iter().zip(slots) {
+                        *slot = separate(&mut solver, w);
+                    }
+                });
+            }
+        });
+        out
     }
 
-    /// True when the screen lets destination `di` skip its max-flow this
-    /// round: the last measured flow cleared `(1 + margin)·TP` and no
-    /// incident edge load decreased since that measurement. Heuristic only —
-    /// termination always re-verifies skipped destinations.
-    fn can_skip(&self, di: usize, tp_value: f64, loads: &[f64]) -> bool {
-        let screen = &self.screen[di];
-        screen.valid
-            && screen.flow >= (1.0 + SCREEN_MARGIN) * tp_value
-            && screen
-                .incident_loads
-                .iter()
-                .all(|&(e, old)| loads[e as usize] + 1e-12 * (1.0 + old.abs()) >= old)
+    /// One oracle batch over `destinations` at `point`: plans the skips on
+    /// the calling thread (fixed destination order), shards the surviving
+    /// max-flows, and reduces — screen refreshes and cut registrations —
+    /// again in fixed destination order. Returns `(cuts the master gained,
+    /// skipped max-flows)`.
+    fn separate_batch(
+        &mut self,
+        platform: &Platform,
+        destinations: &[NodeId],
+        point: &[f64],
+        tp_value: f64,
+        tol: f64,
+        screening: bool,
+    ) -> (usize, usize) {
+        let mut items: Vec<(usize, NodeId)> = Vec::with_capacity(destinations.len());
+        let mut skipped = 0usize;
+        for (di, &w) in destinations.iter().enumerate() {
+            if screening && self.can_skip(di, tp_value, point) {
+                skipped += 1;
+            } else {
+                items.push((di, w));
+            }
+        }
+        let results = self.run_separations(&items, point, tp_value, tol);
+        let mut new_cuts = 0usize;
+        for (&(di, _), (flow, support, side)) in items.iter().zip(results) {
+            let screen = &mut self.screen[di];
+            screen.valid = true;
+            screen.flow = flow;
+            screen.support = support;
+            if let Some(side) = side {
+                if self.add_cut(platform, side) {
+                    new_cuts += 1;
+                }
+            }
+        }
+        (new_cuts, skipped)
     }
 
     /// Adds (or reactivates) the cut induced by `side`; returns true when
@@ -980,41 +1070,36 @@ impl CutGenSession {
                 loads.clone()
             };
 
-            let mut new_cuts = 0usize;
-            let mut skipped_this_round: Vec<usize> = Vec::new();
             let sep_span = bcast_obs::span!(bcast_obs::names::SPAN_CUTGEN_SEPARATION);
-            for (di, &w) in destinations.iter().enumerate() {
-                if screening && self.can_skip(di, tp_value, &sep_point) {
-                    skipped_this_round.push(di);
-                    continue;
-                }
-                if self.separate_one(platform, di, w, &sep_point, tp_value, tol) {
-                    new_cuts += 1;
-                }
-            }
-            skipped_separations += skipped_this_round.len();
+            let (mut new_cuts, skipped_this_round) = self.separate_batch(
+                platform,
+                &destinations,
+                &sep_point,
+                tp_value,
+                tol,
+                screening,
+            );
+            skipped_separations += skipped_this_round;
             if new_cuts == 0 {
                 // Exact pass at the true master solution: the stabilized
-                // separation point and the screen are both heuristics;
-                // termination is only ever declared from an unscreened
-                // separation of the actual optimum.
-                for (di, &w) in destinations.iter().enumerate() {
-                    if self.separate_one(platform, di, w, &loads, tp_value, tol) {
-                        new_cuts += 1;
-                    }
-                }
+                // separation point is a heuristic and the screen's bound is
+                // conservative; termination is only ever declared from an
+                // unscreened separation of the actual optimum.
+                let (extra, _) =
+                    self.separate_batch(platform, &destinations, &loads, tp_value, tol, false);
+                new_cuts += extra;
             }
             drop(sep_span);
             bcast_obs::counter_add(
                 bcast_obs::names::CUTGEN_SEPARATIONS_SCREENED,
-                skipped_this_round.len() as u64,
+                skipped_this_round as u64,
             );
             bcast_obs::emit_with(|| bcast_obs::Event::SepRound {
                 step: step as u64,
                 round: rounds as u64,
                 tp: tp_value,
                 new_cuts: new_cuts as u64,
-                screened: skipped_this_round.len() as u64,
+                screened: skipped_this_round as u64,
                 t_ns: round_start.map_or(0, |s| s.elapsed().as_nanos() as u64),
             });
             if new_cuts == 0 || rounds >= MAX_ROUNDS {
@@ -1390,6 +1475,91 @@ mod tests {
         let single = b.build();
         let r = solve_with(&single, NodeId(0), 1.0, &CutGenOptions::default()).unwrap();
         assert!(r.optimal.throughput.is_infinite());
+    }
+
+    #[test]
+    fn screening_skips_separations_and_preserves_the_optimum() {
+        // The screen's habitat is a drift session: between consecutive
+        // steps the separation points barely move, so destinations whose
+        // certified flow still clears the (possibly lowered) target must be
+        // skipped — and every step's optimum must equal the unscreened one.
+        use bcast_platform::drift::{DriftConfig, DriftTrace};
+        use bcast_platform::generators::tiers::{tiers_platform, TiersConfig};
+        let mut rng = StdRng::seed_from_u64(77);
+        let platform = tiers_platform(&TiersConfig::paper(40, 0.10), &mut rng);
+        let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::gentle(12, 77));
+        let mut screened =
+            CutGenSession::new(trace.base(), NodeId(0), 1.0e6, CutGenOptions::default()).unwrap();
+        let mut unscreened = CutGenSession::new(
+            trace.base(),
+            NodeId(0),
+            1.0e6,
+            CutGenOptions {
+                screen_separation: false,
+                ..CutGenOptions::default()
+            },
+        )
+        .unwrap();
+        let mut skipped = 0usize;
+        for step in 0..trace.len() {
+            let snapshot = trace.platform_at(step);
+            let s = screened.solve_step(&snapshot).unwrap();
+            let u = unscreened.solve_step(&snapshot).unwrap();
+            assert_eq!(u.skipped_separations, 0);
+            skipped += s.skipped_separations;
+            assert!(
+                (s.optimal.throughput - u.optimal.throughput).abs() <= 1e-6 * u.optimal.throughput,
+                "step {step}: screened {} vs unscreened {}",
+                s.optimal.throughput,
+                u.optimal.throughput
+            );
+        }
+        assert!(skipped > 0, "drift walk exercised no screen skips");
+    }
+
+    #[test]
+    fn separation_is_bit_identical_across_thread_counts() {
+        // The parallel oracle plans and reduces in fixed destination order:
+        // every result field — loads included — must be *bit*-equal between
+        // a serial run and any sharded run.
+        let mut rng = StdRng::seed_from_u64(53);
+        let platform = random_platform(&RandomPlatformConfig::paper(24, 0.12), &mut rng);
+        let solve_at = |threads: usize| {
+            solve_with(
+                &platform,
+                NodeId(0),
+                1.0e6,
+                &CutGenOptions {
+                    separation_threads: threads,
+                    ..CutGenOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = solve_at(1);
+        for threads in [2, 4] {
+            let sharded = solve_at(threads);
+            assert_eq!(
+                serial.optimal.throughput.to_bits(),
+                sharded.optimal.throughput.to_bits(),
+                "{threads} threads: TP differs"
+            );
+            let same_loads = serial
+                .optimal
+                .edge_load
+                .iter()
+                .zip(&sharded.optimal.edge_load)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_loads, "{threads} threads: edge loads differ");
+            assert_eq!(serial.optimal.iterations, sharded.optimal.iterations);
+            assert_eq!(
+                serial.optimal.simplex_iterations,
+                sharded.optimal.simplex_iterations
+            );
+            assert_eq!(serial.optimal.cuts, sharded.optimal.cuts);
+            assert_eq!(serial.skipped_separations, sharded.skipped_separations);
+            assert_eq!(serial.binding_cuts.len(), sharded.binding_cuts.len());
+        }
     }
 
     #[test]

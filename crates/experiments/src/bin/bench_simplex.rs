@@ -1,20 +1,21 @@
 //! **Ablation 7** — the master-LP simplex engine: dense full tableau vs the
-//! sparse revised simplex (eta-file basis), and Devex vs Dantzig pricing,
-//! across platform sizes up to 200 nodes on all three families.
+//! sparse revised simplex (Markowitz LU basis), and Devex vs Dantzig vs
+//! Forrest–Goldfarb steepest-edge pricing, across platform sizes up to
+//! 1000 nodes on all three families.
 //!
 //! Three modes:
 //!
 //! ```text
-//! # The ablation table (default; --quick restricts to n ≤ 65, --full adds
-//! # the dense engine at 130 nodes — ~30 s per family point):
+//! # The ablation table (default n ≤ 500; --quick restricts to n ≤ 65,
+//! # --full adds the dense engine at 130 nodes and the 1000-node points):
 //! cargo run --release -p bcast-experiments --bin bench_simplex
 //!
-//! # Write the machine-readable perf baseline (Tiers-65 cut generation,
-//! # sparse engine, min wall-clock of three runs):
+//! # Write the machine-readable perf baseline (Tiers-65 and Tiers-500 cut
+//! # generation, sparse engine, min wall-clock of three runs per point):
 //! cargo run --release -p bcast-experiments --bin bench_simplex -- --emit-baseline BENCH_simplex.json
 //!
-//! # CI perf-regression smoke: fail (exit 1) when the measured Tiers-65
-//! # cut-generation wall-clock exceeds 2x the committed baseline:
+//! # CI perf-regression smoke: fail (exit 1) when any measured point's
+//! # cut-generation wall-clock exceeds 2x its committed baseline:
 //! cargo run --release -p bcast-experiments --bin bench_simplex -- --check-baseline BENCH_simplex.json
 //! ```
 //!
@@ -33,13 +34,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const SLICE: f64 = 1.0e6;
-const BASELINE_SEED: u64 = 65;
-const BASELINE_NODES: usize = 65;
-const BASELINE_DENSITY: f64 = 0.06;
+/// The perf-baseline points: Tiers platforms whose cut-generation
+/// wall-clock the CI smoke guards. Each entry is `(nodes, rng seed)` —
+/// Tiers-65 pins the interactive regime, Tiers-500 the scaling regime the
+/// Markowitz-LU engine opened up. Densities come from [`density_for`].
+const BASELINE_POINTS: [(usize, u64); 2] = [(65, 65), (500, 500)];
 /// The CI smoke fails when the measured wall-clock exceeds this multiple of
 /// the committed baseline (the baseline is emitted on a developer machine,
 /// so the factor doubles as hardware slack; a real regression — the dense
-/// engine was 34x slower on this point — blows far past it).
+/// engine was 34x slower on the Tiers-65 point — blows far past it).
 const REGRESSION_FACTOR: f64 = 2.0;
 
 fn main() {
@@ -52,6 +55,7 @@ fn main() {
     let mut journal: Option<String> = None;
     let mut family: Option<String> = None;
     let mut nodes: Option<usize> = None;
+    let mut pricing: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -77,6 +81,15 @@ fn main() {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--nodes needs a number")),
                 )
+            }
+            "--pricing" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--pricing needs a rule"));
+                if !["devex", "dantzig", "steepest"].contains(&v.as_str()) {
+                    usage(&format!("unknown pricing rule: {v}"));
+                }
+                pricing = Some(v);
             }
             "--journal" => {
                 journal = Some(
@@ -106,7 +119,14 @@ fn main() {
     } else if let Some(path) = check {
         check_baseline(&path);
     } else {
-        ablation_table(quick, full, seed, family.as_deref(), nodes);
+        ablation_table(
+            quick,
+            full,
+            seed,
+            family.as_deref(),
+            nodes,
+            pricing.as_deref(),
+        );
     }
     finish_journal_or_exit();
 }
@@ -117,7 +137,8 @@ fn usage(message: &str) -> ! {
     }
     eprintln!(
         "usage: bench_simplex [--quick|--full] [--seed S] \
-         [--family random|tiers|gaussian] [--nodes N] [--journal PATH] \
+         [--family random|tiers|gaussian] [--nodes N] \
+         [--pricing devex|dantzig|steepest] [--journal PATH] \
          [--emit-baseline PATH | --check-baseline PATH]"
     );
     std::process::exit(2);
@@ -173,18 +194,21 @@ fn make_platform(family: &str, nodes: usize, seed: u64) -> Platform {
 }
 
 /// Ablation 7: dense vs sparse vs pricing rule, per family and size.
-/// `family_filter`/`nodes_filter` restrict the table to one family and/or
-/// one size (handy for producing a single-point `--journal`, e.g. the
-/// Tiers-130 profile EXPERIMENTS.md walks through).
+/// `family_filter`/`nodes_filter`/`pricing_filter` restrict the table to
+/// one family, size, and/or pricing rule (handy for producing a
+/// single-point `--journal`, e.g. the Tiers-130 profile EXPERIMENTS.md
+/// walks through, or for running the hour-scale Tiers-1000 point with one
+/// rule only).
 fn ablation_table(
     quick: bool,
     full: bool,
     seed: u64,
     family_filter: Option<&str>,
     nodes_filter: Option<usize>,
+    pricing_filter: Option<&str>,
 ) {
     println!(
-        "Ablation 7 — master-LP engine: dense tableau vs sparse revised simplex (eta-file basis)"
+        "Ablation 7 — master-LP engine: dense tableau vs sparse revised simplex (Markowitz-LU basis)"
     );
     println!(
         "(dense runs are limited to n ≤ {} — the dense tableau is the scaling wall this ablation documents)",
@@ -192,9 +216,10 @@ fn ablation_table(
     );
     let size_override = nodes_filter.map(|n| [n]);
     let sizes: &[usize] = match &size_override {
-        Some(one) => one,
+        Some(one) => &one[..],
         None if quick => &[20, 65],
-        None => &[20, 65, 130, 200],
+        None if full => &[20, 65, 130, 200, 500, 1000],
+        None => &[20, 65, 130, 200, 500],
     };
     let mut table = AsciiTable::new(vec![
         "family",
@@ -216,6 +241,11 @@ fn ablation_table(
             for (label, engine, pricing) in [
                 ("sparse devex", SimplexEngine::Sparse, PricingRule::Devex),
                 (
+                    "sparse steepest",
+                    SimplexEngine::Sparse,
+                    PricingRule::SteepestEdge,
+                ),
+                (
                     "sparse dantzig",
                     SimplexEngine::Sparse,
                     PricingRule::Dantzig,
@@ -223,6 +253,14 @@ fn ablation_table(
                 ("dense", SimplexEngine::Dense, PricingRule::Devex),
             ] {
                 if engine == SimplexEngine::Dense && nodes > dense_cap {
+                    continue;
+                }
+                let rule_name = match pricing {
+                    PricingRule::Devex => "devex",
+                    PricingRule::Dantzig => "dantzig",
+                    PricingRule::SteepestEdge => "steepest",
+                };
+                if pricing_filter.is_some_and(|p| p != rule_name) {
                     continue;
                 }
                 // Dantzig at 200 nodes is ~10x the Devex wall-clock; keep
@@ -253,17 +291,16 @@ fn ablation_table(
     println!("{}", table.render());
 }
 
-/// Measures the baseline point: Tiers-65 cut generation, sparse engine,
-/// minimum wall-clock over three runs (the minimum is the least noisy
-/// estimator of the achievable time).
-fn measure_baseline() -> (f64, usize, usize, f64) {
-    let platform = make_platform(
-        "tiers",
-        BASELINE_NODES,
-        BASELINE_SEED - BASELINE_NODES as u64,
-    );
+/// Measures one baseline point: Tiers-`nodes` cut generation, sparse
+/// engine, minimum wall-clock over three runs (the minimum is the least
+/// noisy estimator of the achievable time). The 500-node point runs once —
+/// its solve is long enough that timer noise is negligible and three runs
+/// would dominate the CI smoke's wall-clock.
+fn measure_baseline(nodes: usize, seed: u64) -> (f64, usize, usize, f64) {
+    let runs = if nodes >= 300 { 1 } else { 3 };
+    let platform = make_platform("tiers", nodes, seed - nodes as u64);
     let mut best: Option<(f64, usize, usize, f64)> = None;
-    for _ in 0..3 {
+    for _ in 0..runs {
         let sample = run(&platform, SimplexEngine::Sparse, PricingRule::Devex);
         if best.is_none_or(|b| sample.3 < b.3) {
             best = Some(sample);
@@ -273,57 +310,92 @@ fn measure_baseline() -> (f64, usize, usize, f64) {
 }
 
 fn emit_baseline(path: &str) {
-    let (tp, pivots, rounds, secs) = measure_baseline();
-    let json = format!(
-        "{{\n  \"schema\": \"bench_simplex/1\",\n  \"point\": \"tiers-{BASELINE_NODES}\",\n  \
-         \"seed\": {BASELINE_SEED},\n  \"density\": {BASELINE_DENSITY},\n  \
-         \"engine\": \"sparse-devex\",\n  \"cutgen_ms\": {:.3},\n  \
-         \"pivots\": {pivots},\n  \"rounds\": {rounds},\n  \"throughput\": {tp:.7}\n}}\n",
-        secs * 1e3
+    let mut json = String::from(
+        "{\n  \"schema\": \"bench_simplex/2\",\n  \"engine\": \"sparse-devex\",\n  \"points\": [\n",
     );
+    for (i, &(nodes, seed)) in BASELINE_POINTS.iter().enumerate() {
+        let (tp, pivots, rounds, secs) = measure_baseline(nodes, seed);
+        let comma = if i + 1 < BASELINE_POINTS.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "    {{ \"point\": \"tiers-{nodes}\", \"seed\": {seed}, \"density\": {}, \
+             \"cutgen_ms\": {:.3}, \"pivots\": {pivots}, \"rounds\": {rounds}, \
+             \"throughput\": {tp:.7} }}{comma}\n",
+            density_for(nodes),
+            secs * 1e3
+        ));
+        println!(
+            "tiers-{nodes} cut generation: {:.3} ms ({pivots} pivots, {rounds} rounds)",
+            secs * 1e3
+        );
+    }
+    json.push_str("  ]\n}\n");
     std::fs::write(path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     });
-    println!(
-        "baseline written to {path}: tiers-{BASELINE_NODES} cut generation {:.3} ms",
-        secs * 1e3
-    );
+    println!("baseline written to {path}");
 }
 
-/// Reads `cutgen_ms` from the flat baseline JSON.
-fn read_baseline_ms(path: &str) -> f64 {
+/// Reads the `(point, cutgen_ms)` pairs from the flat baseline JSON: a
+/// `\"point\"` field names the entry, the next `\"cutgen_ms\"` field supplies
+/// its wall-clock. Accepts both the schema/1 (single-object) and schema/2
+/// (points-array) layouts since each point's fields sit on one line.
+fn read_baseline_points(path: &str) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    for line in text.lines() {
-        let line = line.trim().trim_end_matches(',');
-        if let Some(rest) = line.strip_prefix("\"cutgen_ms\":") {
-            if let Ok(v) = rest.trim().parse::<f64>() {
-                return v;
+    let mut points = Vec::new();
+    let mut current: Option<String> = None;
+    for token in text.split(',').flat_map(|t| t.split('\n')) {
+        let token = token.trim().trim_start_matches('{').trim();
+        if let Some(rest) = token.strip_prefix("\"point\":") {
+            current = Some(rest.trim().trim_matches('\"').to_string());
+        } else if let Some(rest) = token.strip_prefix("\"cutgen_ms\":") {
+            if let (Some(name), Ok(ms)) = (current.take(), rest.trim().parse::<f64>()) {
+                points.push((name, ms));
             }
         }
     }
-    eprintln!("{path}: no parsable \"cutgen_ms\" field");
-    std::process::exit(1);
+    if points.is_empty() {
+        eprintln!("{path}: no parsable (point, cutgen_ms) pairs");
+        std::process::exit(1);
+    }
+    points
 }
 
 fn check_baseline(path: &str) {
-    let baseline_ms = read_baseline_ms(path);
-    let (_, pivots, rounds, secs) = measure_baseline();
-    let measured_ms = secs * 1e3;
-    let limit_ms = baseline_ms * REGRESSION_FACTOR;
-    println!(
-        "tiers-{BASELINE_NODES} cut generation: measured {measured_ms:.1} ms \
-         ({pivots} pivots, {rounds} rounds) vs committed baseline {baseline_ms:.1} ms \
-         (limit {limit_ms:.1} ms)"
-    );
-    if measured_ms > limit_ms {
-        eprintln!(
-            "PERF REGRESSION: {measured_ms:.1} ms exceeds {REGRESSION_FACTOR}x the committed \
-             baseline ({baseline_ms:.1} ms); re-emit BENCH_simplex.json only for an intentional change"
+    let mut failed = false;
+    for (name, baseline_ms) in read_baseline_points(path) {
+        let Some(&(nodes, seed)) = BASELINE_POINTS
+            .iter()
+            .find(|(n, _)| format!("tiers-{n}") == name)
+        else {
+            eprintln!("{path}: unknown baseline point {name}; re-emit the baseline");
+            std::process::exit(1);
+        };
+        let (_, pivots, rounds, secs) = measure_baseline(nodes, seed);
+        let measured_ms = secs * 1e3;
+        let limit_ms = baseline_ms * REGRESSION_FACTOR;
+        println!(
+            "{name} cut generation: measured {measured_ms:.1} ms \
+             ({pivots} pivots, {rounds} rounds) vs committed baseline {baseline_ms:.1} ms \
+             (limit {limit_ms:.1} ms)"
         );
+        if measured_ms > limit_ms {
+            eprintln!(
+                "PERF REGRESSION: {name} at {measured_ms:.1} ms exceeds {REGRESSION_FACTOR}x the \
+                 committed baseline ({baseline_ms:.1} ms); re-emit BENCH_simplex.json only for an \
+                 intentional change"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("within budget");

@@ -97,6 +97,12 @@ type PlatformGenerator = Box<dyn Fn(u64) -> Platform>;
 fn main() {
     let args = ExperimentArgs::from_env(3);
     install_journal_or_exit(&args.journal, "drift");
+    // Results are byte-identical at any separation thread count; the CI
+    // smoke passes `--separation-threads 4` to exercise the sharded oracle.
+    let mut options = CutGenOptions::default();
+    if let Some(threads) = args.separation_threads {
+        options.separation_threads = threads;
+    }
     println!("Ablation 6 — dynamic platforms: cross-step warm start + incremental schedule repair");
     println!(
         "({DRIFT_STEPS} drift steps per trace, lognormal sigma 0.15, 4% link failures, \
@@ -150,7 +156,7 @@ fn main() {
                 NodeId(0),
                 &DriftConfig::with_failures(DRIFT_STEPS, args.seed + instance as u64),
             );
-            let (records, w_ms, c_ms) = run_trace(&trace);
+            let (records, w_ms, c_ms) = run_trace(&trace, &options);
             warm_ms += w_ms;
             cold_ms += c_ms;
             if instance == 0 {
@@ -262,7 +268,7 @@ fn main() {
             let (joins, leaves) = churn_events(&trace);
             total_joins += joins;
             total_leaves += leaves;
-            let (records, w_ms, c_ms) = run_churn_trace(&trace);
+            let (records, w_ms, c_ms) = run_churn_trace(&trace, &options);
             warm_ms += w_ms;
             cold_ms += c_ms;
             if instance == 0 {
@@ -365,11 +371,11 @@ fn main() {
 
 /// Walks one trace warm and cold; returns the per-step records plus the two
 /// wall-clock totals in milliseconds.
-fn run_trace(trace: &DriftTrace) -> (Vec<StepRecord>, f64, f64) {
+fn run_trace(trace: &DriftTrace, options: &CutGenOptions) -> (Vec<StepRecord>, f64, f64) {
     let source = trace.source();
     let config = SynthesisConfig::with_batch(BATCH);
     let spec = MessageSpec::new(4.0 * BATCH as f64 * SLICE, SLICE);
-    let mut session = CutGenSession::new(trace.base(), source, SLICE, CutGenOptions::default())
+    let mut session = CutGenSession::new(trace.base(), source, SLICE, options.clone())
         .expect("trace base is solvable");
     let mut previous: Option<PeriodicSchedule> = None;
     let mut records = Vec::with_capacity(trace.len());
@@ -406,7 +412,7 @@ fn run_trace(trace: &DriftTrace) -> (Vec<StepRecord>, f64, f64) {
                 &CutGenOptions {
                     warm_start: false,
                     iteration_budget: Some(COLD_ITERATION_BUDGET),
-                    ..CutGenOptions::default()
+                    ..options.clone()
                 },
             )
             .expect("cold step solvable");
@@ -509,13 +515,15 @@ fn churn_trace(platform: &Platform, join_rate: f64, leave_rate: f64, seed: u64) 
 /// `solve_step_churn` (cut-pool remap + LP column add/delete) and repairs
 /// the schedule with `resynthesize_schedule_churn` (graft joiners, prune
 /// leavers); the cold side re-solves and re-synthesizes from scratch.
-fn run_churn_trace(trace: &DriftTrace) -> (Vec<ChurnStepRecord>, f64, f64) {
+fn run_churn_trace(
+    trace: &DriftTrace,
+    options: &CutGenOptions,
+) -> (Vec<ChurnStepRecord>, f64, f64) {
     let config = SynthesisConfig::with_batch(BATCH);
     let spec = MessageSpec::new(4.0 * BATCH as f64 * SLICE, SLICE);
     let snap0 = trace.platform_at(0);
-    let mut session =
-        CutGenSession::new(&snap0, trace.source_at(0), SLICE, CutGenOptions::default())
-            .expect("step-0 platform solvable");
+    let mut session = CutGenSession::new(&snap0, trace.source_at(0), SLICE, options.clone())
+        .expect("step-0 platform solvable");
     let mut previous: Option<PeriodicSchedule> = None;
     let mut records = Vec::with_capacity(trace.len());
     let mut warm_ms = 0.0f64;
@@ -561,7 +569,7 @@ fn run_churn_trace(trace: &DriftTrace) -> (Vec<ChurnStepRecord>, f64, f64) {
                 &CutGenOptions {
                     warm_start: false,
                     iteration_budget: Some(COLD_ITERATION_BUDGET),
-                    ..CutGenOptions::default()
+                    ..options.clone()
                 },
             )
             .expect("cold step solvable");

@@ -20,6 +20,13 @@ pub struct ExperimentArgs {
     /// span/counter dumps; `solver_report` ingests the file. Unset (the
     /// default) leaves instrumentation at its zero-cost disabled path.
     pub journal: Option<String>,
+    /// Optional override of `CutGenOptions::separation_threads`
+    /// (`--separation-threads N`): how many scoped workers the solvers'
+    /// separation oracle shards its per-destination max-flows across.
+    /// Results are byte-identical at any value; `None` (the default) keeps
+    /// the library default. CI runs the drift smoke at 4 to guard the
+    /// parallel path's determinism.
+    pub separation_threads: Option<usize>,
 }
 
 impl Default for ExperimentArgs {
@@ -30,6 +37,7 @@ impl Default for ExperimentArgs {
             csv: None,
             quick: false,
             journal: None,
+            separation_threads: None,
         }
     }
 }
@@ -59,12 +67,22 @@ impl ExperimentArgs {
                 "--journal" => {
                     out.journal = Some(iter.next().ok_or("--journal needs a path")?);
                 }
+                "--separation-threads" => {
+                    let v = iter.next().ok_or("--separation-threads needs a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("bad --separation-threads value: {v}"))?;
+                    if n == 0 {
+                        return Err("--separation-threads must be at least 1".to_string());
+                    }
+                    out.separation_threads = Some(n);
+                }
                 "--full" => out.configs = full_configs,
                 "--quick" => out.quick = true,
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--configs N] [--full] [--quick] [--seed S] [--csv PATH] \
-                         [--journal PATH]"
+                         [--journal PATH] [--separation-threads N]"
                             .to_string(),
                     )
                 }
@@ -114,6 +132,8 @@ mod tests {
             "out.csv",
             "--journal",
             "run.jsonl",
+            "--separation-threads",
+            "4",
             "--quick",
         ])
         .unwrap();
@@ -121,6 +141,7 @@ mod tests {
         assert_eq!(a.seed, 99);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
         assert_eq!(a.journal.as_deref(), Some("run.jsonl"));
+        assert_eq!(a.separation_threads, Some(4));
         assert!(a.quick);
     }
 
@@ -137,6 +158,8 @@ mod tests {
         assert!(parse(&["--configs", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--journal"]).is_err());
+        assert!(parse(&["--separation-threads"]).is_err());
+        assert!(parse(&["--separation-threads", "0"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }
 }

@@ -190,10 +190,11 @@ fn disabled_overhead_within_two_percent() {
     let counter_ops: u64 = bcast_obs::counters_snapshot().len() as u64;
     bcast_obs::reset_spans();
     bcast_obs::reset_metrics();
-    assert!(
-        span_ops > 1000,
-        "solve performed too few spans ({span_ops})"
-    );
+    // The floor guards against an accidentally trivial workload. It sits
+    // below the old >1000 mark because the Markowitz LU factorizes without
+    // FTRAN'ing each basic column (the previous product-form pass emitted
+    // one `lp.ftran` span per column per refactorization).
+    assert!(span_ops > 300, "solve performed too few spans ({span_ops})");
 
     // 2x safety factor on the op count for the sites the span stats do not
     // enumerate (per-call counter adds, suppressed journal emits).

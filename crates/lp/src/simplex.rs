@@ -54,6 +54,10 @@ pub enum PricingRule {
     Devex,
     /// Most-negative reduced cost / most-infeasible row.
     Dantzig,
+    /// Forrest–Goldfarb steepest edge: exact recurrences for the column
+    /// norms `γ_j = 1 + ‖B⁻¹a_j‖²` (primal) and row norms
+    /// `δ_r = ‖B⁻ᵀe_r‖²` (dual), at one extra BTRAN/FTRAN per pivot.
+    SteepestEdge,
 }
 
 /// Tunable parameters of the simplex solver.

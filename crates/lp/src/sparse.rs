@@ -205,9 +205,11 @@ pub(crate) struct SparseSimplex {
     pub(crate) x_b: Vec<f64>,
     /// Reduced costs per column, for the cost vector of the running loop.
     d: Vec<f64>,
-    /// Primal Devex reference weights (per column).
+    /// Primal pricing weights (per column): Devex reference weights or
+    /// Forrest–Goldfarb steepest-edge norms `γ_j = 1 + ‖B⁻¹a_j‖²`.
     w_col: Vec<f64>,
-    /// Dual Devex reference weights (per row).
+    /// Dual pricing weights (per row): Devex reference weights or
+    /// steepest-edge row norms `δ_r = ‖B⁻ᵀe_r‖²`.
     w_row: Vec<f64>,
     /// Basic membership per column — pricing must never re-enter a basic
     /// column: reduced-cost drift can make a basic column *look* attractive
@@ -219,6 +221,8 @@ pub(crate) struct SparseSimplex {
     ws_btran: ScatterVec,
     ws_tab: ScatterVec,
     ws_fact: ScatterVec,
+    /// Steepest-edge scratch: `τ = B⁻ᵀα` (primal) / `τ = B⁻¹ρ` (dual).
+    ws_se: ScatterVec,
     /// False whenever the factorization no longer matches `prob` (structural
     /// edits, appended/deleted rows); the loops refactorize on entry.
     factorized: bool,
@@ -243,6 +247,7 @@ impl SparseSimplex {
             ws_btran: ScatterVec::default(),
             ws_tab: ScatterVec::default(),
             ws_fact: ScatterVec::default(),
+            ws_se: ScatterVec::default(),
             factorized: false,
             singular: false,
         }
@@ -272,6 +277,30 @@ impl SparseSimplex {
             self.singular = true;
             return false;
         };
+        // The Markowitz elimination picks its own pivot rows, so the basis
+        // assignment comes back *permuted*: `new_basis[r]` need not be the
+        // old `basis[r]`. The row-indexed dual pricing weights must follow
+        // their variables through that permutation — `w_row[r]` describes
+        // the basic variable assigned to row `r` (for steepest edge it *is*
+        // `‖e_rᵀB⁻¹‖²`, and permuting the basis columns permutes the rows
+        // of `B⁻¹` identically), and leaving it position-indexed scrambles
+        // the pricing framework at every refactorization. On the 200-node
+        // cut masters that scrambling turned ~100-pivot warm dual re-solves
+        // into multi-thousand-pivot plateau walks.
+        if self.w_row.len() == m && self.prob.basis.len() == m {
+            let mut old_row = vec![usize::MAX; self.prob.ncols];
+            for (r, &bc) in self.prob.basis.iter().enumerate() {
+                old_row[bc] = r;
+            }
+            let old_w = std::mem::take(&mut self.w_row);
+            self.w_row = new_basis
+                .iter()
+                .map(|&bc| match old_row[bc] {
+                    usize::MAX => 1.0,
+                    r => old_w[r],
+                })
+                .collect();
+        }
         self.prob.basis = new_basis;
         self.in_basis.clear();
         self.in_basis.resize(self.prob.ncols, false);
@@ -421,6 +450,105 @@ impl SparseSimplex {
         self.w_row[r] = (wr / (alpha_r * alpha_r)).max(1.0);
     }
 
+    /// Initializes the primal steepest-edge norms at the start of a pass:
+    /// `γ_j = 1 + ‖a_j‖²` — exact for a slack/artificial (identity) basis
+    /// and the standard cheap reference start otherwise (the Forrest–
+    /// Goldfarb recurrence keeps them exact from here on).
+    fn init_primal_steepest(&mut self) {
+        self.w_col.clear();
+        self.w_col.reserve(self.prob.ncols);
+        for col in &self.prob.col_nz {
+            let norm2: f64 = col.iter().map(|&(_, v)| v * v).sum();
+            self.w_col.push(1.0 + norm2);
+        }
+    }
+
+    /// Forrest–Goldfarb primal steepest-edge update after a pivot on
+    /// `(q, r)`: `ws_ftran` holds `α = B⁻¹a_q` (pivot element `alpha_r`),
+    /// `ws_tab` the tableau row. Must run *before* [`Self::apply_pivot`]
+    /// (the recurrence needs the pre-pivot `B`). One extra BTRAN computes
+    /// `τ = B⁻ᵀα`, then for every nonbasic `j` in the tableau-row support
+    ///
+    /// ```text
+    ///   γ_j ← max(γ_j − 2·(ᾱ_j/α_r)·a_jᵀτ + (ᾱ_j/α_r)²·γ_q, 1 + (ᾱ_j/α_r)²)
+    /// ```
+    fn update_primal_steepest(&mut self, q: usize, leaving_col: usize, alpha_r: f64) {
+        // Exact norm of the entering column (self-correcting: drift in
+        // w_col[q] does not propagate).
+        let mut gamma_q = 1.0f64;
+        for &i in self.ws_ftran.support() {
+            let a = self.ws_ftran.get(i);
+            gamma_q += a * a;
+        }
+        self.ws_se.ensure_len(self.prob.m);
+        self.ws_se.clear();
+        for &i in self.ws_ftran.support() {
+            let a = self.ws_ftran.get(i);
+            if a != 0.0 {
+                self.ws_se.add(i, a);
+            }
+        }
+        self.eta.btran(&mut self.ws_se);
+        for &j in self.ws_tab.support() {
+            let j = j as usize;
+            if j == q || !self.prob.allowed[j] || self.in_basis[j] {
+                continue;
+            }
+            let ratio = self.ws_tab.get(j as u32) / alpha_r;
+            if ratio == 0.0 {
+                continue;
+            }
+            let dot: f64 = self.prob.col_nz[j]
+                .iter()
+                .map(|&(i, v)| v * self.ws_se.get(i))
+                .sum();
+            let candidate = self.w_col[j] - 2.0 * ratio * dot + ratio * ratio * gamma_q;
+            self.w_col[j] = candidate.max(1.0 + ratio * ratio);
+        }
+        self.w_col[leaving_col] = (gamma_q / (alpha_r * alpha_r)).max(1.0);
+    }
+
+    /// Forrest–Goldfarb dual steepest-edge update after a pivot leaving at
+    /// row `r`: `ws_btran` holds `ρ = B⁻ᵀe_r` (left by
+    /// [`Self::compute_tab_row`]), `ws_ftran` the FTRAN'd entering column
+    /// (pivot element `alpha_r`). Must run *before* [`Self::apply_pivot`].
+    /// One extra FTRAN computes `τ = B⁻¹ρ`, then for every row `i ≠ r` in
+    /// the entering column's support
+    ///
+    /// ```text
+    ///   δ_i ← max(δ_i − 2·(α_i/α_r)·τ_i + (α_i/α_r)²·δ_r, floor)
+    /// ```
+    fn update_dual_steepest(&mut self, r: usize, alpha_r: f64) {
+        let mut delta_r = 0.0f64;
+        for &i in self.ws_btran.support() {
+            let y = self.ws_btran.get(i);
+            delta_r += y * y;
+        }
+        self.ws_se.ensure_len(self.prob.m);
+        self.ws_se.clear();
+        for &i in self.ws_btran.support() {
+            let y = self.ws_btran.get(i);
+            if y != 0.0 {
+                self.ws_se.add(i, y);
+            }
+        }
+        self.eta.ftran(&mut self.ws_se);
+        for &i in self.ws_ftran.support() {
+            let i = i as usize;
+            if i == r {
+                continue;
+            }
+            let ratio = self.ws_ftran.get(i as u32) / alpha_r;
+            if ratio == 0.0 {
+                continue;
+            }
+            let candidate =
+                self.w_row[i] - 2.0 * ratio * self.ws_se.get(i as u32) + ratio * ratio * delta_r;
+            self.w_row[i] = candidate.max(1e-10);
+        }
+        self.w_row[r] = (delta_r / (alpha_r * alpha_r)).max(1e-10);
+    }
+
     /// Ensures the factorization is live and the reduced costs match `cost`.
     /// Returns `false` on a singular basis.
     fn refresh(&mut self, cost: &[f64], options: &SimplexOptions) -> bool {
@@ -453,9 +581,14 @@ impl SparseSimplex {
         if !assume_fresh && !self.refresh(cost, options) {
             return (SolveStatus::IterationLimit, 0);
         }
-        // Fresh Devex reference framework for this pass.
-        self.w_col.clear();
-        self.w_col.resize(self.prob.ncols, 1.0);
+        // Fresh pricing framework for this pass: Devex reference weights,
+        // or steepest-edge norms seeded from the raw column norms.
+        if options.pricing == PricingRule::SteepestEdge {
+            self.init_primal_steepest();
+        } else {
+            self.w_col.clear();
+            self.w_col.resize(self.prob.ncols, 1.0);
+        }
         let mut iterations = 0usize;
         let mut degenerate_run = 0usize;
         let mut bland_sticky = false;
@@ -468,8 +601,20 @@ impl SparseSimplex {
             if iterations >= max_iterations {
                 return (SolveStatus::IterationLimit, iterations);
             }
-            if degenerate_run >= options.bland_threshold {
+            // The anti-cycling latch keys on a *degeneracy plateau* scaled
+            // with the row count (same rationale as the dual's latch:
+            // legitimate plateaus deepen with problem size), and it releases
+            // on the first strictly improving pivot. Bland's rule guarantees
+            // escape from the plateau it latched on, and once the objective
+            // strictly moves no earlier basis can recur, so handing pricing
+            // back to Devex/steepest is safe. A permanently sticky latch at
+            // a flat 64-pivot trigger turned the 500-node cold masters into
+            // ~800k-pivot Bland walks — first-index pricing is the
+            // anti-cycling tool of last resort, not a pricing rule.
+            if degenerate_run >= options.bland_threshold + self.prob.m {
                 bland_sticky = true;
+            } else if degenerate_run == 0 {
+                bland_sticky = false;
             }
             // Entering column.
             let mut entering: Option<usize> = None;
@@ -490,7 +635,7 @@ impl SparseSimplex {
                             }
                         }
                     }
-                    PricingRule::Devex => {
+                    PricingRule::Devex | PricingRule::SteepestEdge => {
                         let mut best = 0.0f64;
                         for (j, (&dj, &ok)) in self.d.iter().zip(&self.prob.allowed).enumerate() {
                             if ok && !self.in_basis[j] && dj > options.cost_tolerance {
@@ -599,8 +744,10 @@ impl SparseSimplex {
             let leaving_col = self.prob.basis[r];
             self.compute_tab_row(r);
             self.update_reduced_costs(q, pivot_val);
-            if options.pricing == PricingRule::Devex {
-                self.update_primal_devex(q, leaving_col, pivot_val);
+            match options.pricing {
+                PricingRule::Devex => self.update_primal_devex(q, leaving_col, pivot_val),
+                PricingRule::SteepestEdge => self.update_primal_steepest(q, leaving_col, pivot_val),
+                PricingRule::Dantzig => {}
             }
             self.apply_pivot(q, r);
             iterations += 1;
@@ -623,7 +770,9 @@ impl SparseSimplex {
         if !assume_fresh && !self.refresh(cost, options) {
             return (SolveStatus::IterationLimit, 0);
         }
-        // Fresh Devex reference framework for this pass.
+        // Fresh pricing framework for this pass (`δ_r = 1` is also the
+        // steepest-edge start: exact for a fresh slack basis, reference
+        // otherwise — the recurrence keeps it exact from here).
         self.w_row.clear();
         self.w_row.resize(self.prob.m, 1.0);
         let feas = options.feasibility_tolerance;
@@ -680,7 +829,7 @@ impl SparseSimplex {
                             }
                         }
                     }
-                    PricingRule::Devex => {
+                    PricingRule::Devex | PricingRule::SteepestEdge => {
                         let mut best = 0.0f64;
                         for (r, &xb) in self.x_b.iter().enumerate() {
                             if xb < -feas {
@@ -780,8 +929,10 @@ impl SparseSimplex {
                 return (SolveStatus::IterationLimit, iterations);
             }
             self.update_reduced_costs(q, self.ws_tab.get(q as u32));
-            if options.pricing == PricingRule::Devex {
-                self.update_dual_devex(r, alpha_r);
+            match options.pricing {
+                PricingRule::Devex => self.update_dual_devex(r, alpha_r),
+                PricingRule::SteepestEdge => self.update_dual_steepest(r, alpha_r),
+                PricingRule::Dantzig => {}
             }
             self.apply_pivot(q, r);
             iterations += 1;
@@ -1103,14 +1254,15 @@ pub(crate) fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpS
     let iterations = match sim.two_phase(&cost, options) {
         Ok(iterations) => iterations,
         // A singular bailout is a factorization defeat, not a budget
-        // verdict: the eta LU's partial pivoting is restricted to rows not
-        // yet claimed by earlier columns, so a basis the pricing trajectory
-        // legitimately reached can be lost to cancellation that the dense
-        // tableau's full-row pivoting absorbs. The dense engine is the
-        // authoritative oracle for every LP in this workspace; answering
-        // slowly beats not answering. Genuine budget exhaustion (no
-        // singular flag) still surfaces as `IterationLimit`.
+        // verdict. With the Markowitz LU's threshold pivoting it should no
+        // longer happen (the old restricted-row pivoting could lose a
+        // legitimately reached basis to cancellation), but the dense engine
+        // stays wired in as the authoritative safety net — answering slowly
+        // beats not answering. The counter lets the regression suite assert
+        // the net is never hit. Genuine budget exhaustion (no singular
+        // flag) still surfaces as `IterationLimit`.
         Err(LpError::IterationLimit) if sim.singular_bailout() => {
+            bcast_obs::counter_add(bcast_obs::names::LP_SINGULAR_FALLBACK, 1);
             return simplex::solve_dense(problem, options);
         }
         Err(e) => return Err(e),
@@ -1221,6 +1373,50 @@ mod tests {
         )
         .unwrap();
         assert_close(devex.objective, dantzig.objective);
+    }
+
+    #[test]
+    fn steepest_edge_pricing_reaches_the_same_optimum() {
+        // Same family of LPs as the Dantzig agreement test, but bigger and
+        // denser so steepest edge actually exercises its norm recurrences
+        // across several pivots (primal and, via the two-phase entry, dual).
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<VarId> = (0..10)
+            .map(|i| lp.add_var(format!("x{i}"), 1.0 + (i as f64) * 0.7))
+            .collect();
+        let mut state = 0xBEEFu64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..14 {
+            let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 0.05 + next())).collect();
+            lp.add_le(&terms, 0.5 + 3.0 * next());
+        }
+        let devex = solve(&lp, &sparse_options()).unwrap();
+        let steepest = solve(
+            &lp,
+            &SimplexOptions {
+                pricing: PricingRule::SteepestEdge,
+                ..sparse_options()
+            },
+        )
+        .unwrap();
+        assert_close(devex.objective, steepest.objective);
+        // And at a tight refactorization interval, which interleaves the
+        // norm recurrences with LU rebuilds.
+        let steepest_tight = solve(
+            &lp,
+            &SimplexOptions {
+                pricing: PricingRule::SteepestEdge,
+                refactor_interval: 1,
+                ..sparse_options()
+            },
+        )
+        .unwrap();
+        assert_close(devex.objective, steepest_tight.objective);
     }
 
     #[test]

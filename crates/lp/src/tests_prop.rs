@@ -1,6 +1,7 @@
 //! Property-based tests of the simplex solver (compiled as a child module of
 //! the crate so they can live next to the implementation; see `lib.rs`).
 
+use crate::basis::{EtaBasis, ScatterVec};
 use crate::incremental::RowUpdate;
 use crate::{
     ColId, ConstraintOp, LpError, LpProblem, NewCol, RowId, Sense, SimplexEngine, SimplexOptions,
@@ -156,8 +157,192 @@ fn churn_walk(options: SimplexOptions, lp: &PackingLp, ops: &[ChurnOp]) {
     }
 }
 
+/// A random nonsingular basis for the LU differential test: strictly
+/// column-diagonally-dominant columns (so nonsingularity is guaranteed by
+/// construction) with random sparsity and per-column scales spanning six
+/// orders of magnitude, plus a probe vector and a few entering columns to
+/// exercise the eta-on-LU update path.
+#[derive(Clone, Debug)]
+struct BasisCase {
+    m: usize,
+    cols: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    enterings: Vec<(Vec<f64>, usize)>,
+}
+
+fn basis_case_strategy() -> impl Strategy<Value = BasisCase> {
+    (2usize..9).prop_flat_map(|m| {
+        let entries = proptest::collection::vec(-1.0f64..1.0, m * m);
+        let mask = proptest::collection::vec(0.0f64..1.0, m * m);
+        let scales = proptest::collection::vec(-3i32..4, m);
+        let rhs = proptest::collection::vec(-2.0f64..2.0, m);
+        let ups = proptest::collection::vec(
+            (proptest::collection::vec(-1.0f64..1.0, m), 0usize..8),
+            0..4,
+        );
+        (entries, mask, scales, rhs, ups).prop_map(
+            move |(entries, mask, scales, rhs, enterings)| {
+                let mut cols = vec![vec![0.0f64; m]; m];
+                for (k, col) in cols.iter_mut().enumerate() {
+                    let s = 10f64.powi(scales[k]);
+                    for (i, slot) in col.iter_mut().enumerate() {
+                        let e = entries[k * m + i];
+                        *slot = s * if i == k {
+                            m as f64 + 1.0 + e.abs()
+                        } else if mask[k * m + i] < 0.6 {
+                            e
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                BasisCase {
+                    m,
+                    cols,
+                    rhs,
+                    enterings,
+                }
+            },
+        )
+    })
+}
+
+/// Dense Gauss–Jordan oracle with full partial pivoting: `x = M⁻¹ b` for
+/// the matrix whose `k`-th column is `cols[k]`.
+fn dense_solve(cols: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let m = b.len();
+    let mut a = vec![vec![0.0f64; m + 1]; m];
+    for (i, row) in a.iter_mut().enumerate() {
+        for (k, col) in cols.iter().enumerate() {
+            row[k] = col[i];
+        }
+        row[m] = b[i];
+    }
+    for k in 0..m {
+        let piv = (k..m)
+            .max_by(|&x, &y| a[x][k].abs().partial_cmp(&a[y][k].abs()).unwrap())
+            .unwrap();
+        a.swap(k, piv);
+        let pivot_row = a[k].clone();
+        for (i, row) in a.iter_mut().enumerate() {
+            if i == k {
+                continue;
+            }
+            let f = row[k] / pivot_row[k];
+            if f == 0.0 {
+                continue;
+            }
+            for (c, &pv) in pivot_row.iter().enumerate().skip(k) {
+                row[c] -= f * pv;
+            }
+        }
+    }
+    (0..m).map(|i| a[i][m] / a[i][i]).collect()
+}
+
+/// `x = M⁻ᵀ b` via the same oracle on the transpose.
+fn dense_solve_t(cols: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let m = b.len();
+    let t: Vec<Vec<f64>> = (0..m)
+        .map(|k| (0..m).map(|i| cols[i][k]).collect())
+        .collect();
+    dense_solve(&t, b)
+}
+
+/// FTRAN/BTRAN of `basis` must agree with dense solves against the matrix
+/// whose `r`-th column is `mat[r]`, at 1e-9 relative to the solution norm.
+fn assert_lu_matches_oracle(
+    basis: &EtaBasis,
+    mat: &[Vec<f64>],
+    rhs: &[f64],
+    probe: &mut ScatterVec,
+    what: &str,
+) {
+    let m = rhs.len();
+    probe.ensure_len(m);
+    for (transposed, oracle) in [
+        (false, dense_solve(mat, rhs)),
+        (true, dense_solve_t(mat, rhs)),
+    ] {
+        probe.clear();
+        for (i, &v) in rhs.iter().enumerate() {
+            if v != 0.0 {
+                probe.add(i as u32, v);
+            }
+        }
+        if transposed {
+            basis.btran(probe);
+        } else {
+            basis.ftran(probe);
+        }
+        let norm = oracle.iter().fold(1.0f64, |n, &v| n.max(v.abs()));
+        for (i, &expect) in oracle.iter().enumerate() {
+            let got = probe.get(i as u32);
+            prop_assert!(
+                (got - expect).abs() <= 1e-9 * norm,
+                "{what} {}[{i}]: {got} vs oracle {expect} (norm {norm})",
+                if transposed { "btran" } else { "ftran" },
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The Markowitz LU differential: factorize random (graded, sparse,
+    /// guaranteed-nonsingular) bases and check FTRAN/BTRAN against a dense
+    /// Gauss–Jordan oracle at 1e-9, then replace columns through the
+    /// eta-on-LU update path and check again after every pivot.
+    #[test]
+    fn lu_factorization_matches_the_dense_oracle(case in basis_case_strategy()) {
+        let m = case.m;
+        let sparse: Vec<Vec<(u32, f64)>> = case
+            .cols
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v != 0.0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect()
+            })
+            .collect();
+        let mut basis = EtaBasis::new();
+        let mut work = ScatterVec::default();
+        let mut probe = ScatterVec::default();
+        let assignment = basis
+            .refactorize(m, &(0..m).collect::<Vec<_>>(), |j| &sparse[j], 1e-7, &mut work)
+            .expect("diagonally dominant bases are nonsingular");
+        // The factorization's column order: position r holds the column the
+        // LU pivoted on row r.
+        let mut mat: Vec<Vec<f64>> = assignment.iter().map(|&c| case.cols[c].clone()).collect();
+        assert_lu_matches_oracle(&basis, &mat, &case.rhs, &mut probe, "fresh");
+        // Eta-on-LU updates: pivot entering columns in, one per step, and
+        // re-verify the transforms against the mutated matrix.
+        for (step, (ecol, pick)) in case.enterings.iter().enumerate() {
+            work.ensure_len(m);
+            work.clear();
+            for (i, &v) in ecol.iter().enumerate() {
+                if v != 0.0 {
+                    work.add(i as u32, v);
+                }
+            }
+            basis.ftran(&mut work);
+            let alpha_max = (0..m as u32).fold(0.0f64, |n, i| n.max(work.get(i).abs()));
+            let candidates: Vec<usize> = (0..m)
+                .filter(|&r| work.get(r as u32).abs() >= 0.1 * alpha_max)
+                .collect();
+            if alpha_max < 1e-9 || candidates.is_empty() {
+                continue; // entering column ~ dependent; skip the pivot
+            }
+            let r = candidates[pick % candidates.len()];
+            basis.update(&work, r as u32);
+            mat[r] = ecol.clone();
+            assert_lu_matches_oracle(&basis, &mat, &case.rhs, &mut probe,
+                &format!("after update {step}"));
+        }
+    }
 
     /// The solver returns a primal-feasible point whose objective is at
     /// least as good as a few simple feasible candidates (x = 0 and the

@@ -269,6 +269,12 @@ impl FlowNetwork {
 /// rebuilds the whole residual network (one allocation per node plus the
 /// per-edge arc pairs) on every call; this solver only rewrites the arc
 /// capacities in place.
+///
+/// `Clone` gives each worker of a parallel separation batch its own
+/// independent scratch: [`solve_limited`](Self::solve_limited) rewrites
+/// every arc's capacity *and* residual before augmenting, so a clone taken
+/// at any moment behaves exactly like a freshly built solver.
+#[derive(Clone)]
 pub struct MaxFlowSolver {
     net: FlowNetwork,
     /// Arc location `(tail node, arc index)` of each platform edge, indexed
@@ -327,6 +333,24 @@ impl MaxFlowSolver {
             self.net.arcs[to][rev].residual = 0.0;
         }
         self.net.max_flow_limited(source, sink, limit)
+    }
+
+    /// Support of the flow found by the **last** [`solve`](Self::solve):
+    /// `(platform edge, flow carried)` for every edge with strictly
+    /// positive flow, in [`EdgeId`] order. The list is a feasibility
+    /// certificate — restricted to any capacity vector `p`, the flow still
+    /// carries at least `value − Σ_e (f_e − p_e)⁺` from the same source to
+    /// the same sink.
+    pub fn flow_support(&self) -> Vec<(u32, f64)> {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(u, a))| {
+                let arc = &self.net.arcs[u as usize][a as usize];
+                let f = arc.capacity - arc.residual;
+                (f > 0.0).then_some((i as u32, f))
+            })
+            .collect()
     }
 
     /// Source side of a minimum cut for the **last** [`solve`](Self::solve)

@@ -39,11 +39,20 @@ pub const SCHED_KEPT_TREES: &str = "sched.repair.kept_trees";
 pub const SCHED_FULL_REBUILDS: &str = "sched.repair.full_rebuilds";
 /// Point-to-point transfers replayed by the schedule simulator.
 pub const SIM_TRANSFERS: &str = "sim.transfers";
+/// Sparse LP solves that bailed out to the dense engine on a (claimed)
+/// singular basis. With the Markowitz LU this should stay 0 — the
+/// regression suite asserts it.
+pub const LP_SINGULAR_FALLBACK: &str = "lp.singular_fallback";
+/// Separation max-flow batches executed by parallel workers (one increment
+/// per sharded batch, not per destination).
+pub const CUTGEN_PARALLEL_BATCHES: &str = "cut_gen.parallel_batches";
 
 // ---- gauges ------------------------------------------------------------
 
 /// Eta-file length of the sparse basis after the most recent pivot.
 pub const LP_ETA_LEN: &str = "lp.eta_len";
+/// Separation worker threads used by the most recent parallel batch.
+pub const CUTGEN_SEP_WORKERS: &str = "cut_gen.sep_workers";
 
 // ---- span names --------------------------------------------------------
 //
@@ -56,6 +65,10 @@ pub const SPAN_FTRAN: &str = "lp.ftran";
 pub const SPAN_BTRAN: &str = "lp.btran";
 /// Basis refactorization (sparse Gauss–Jordan eta rebuild).
 pub const SPAN_REFACTOR: &str = "lp.refactor";
+/// Markowitz sparse LU factorization (nested under `lp.refactor`).
+pub const SPAN_LU_FACTOR: &str = "lu.factor";
+/// One eta-on-LU pivot update of the sparse basis.
+pub const SPAN_LU_UPDATE: &str = "lu.update";
 /// One-shot LP solve (either engine).
 pub const SPAN_LP_SOLVE: &str = "lp.solve";
 /// Incremental re-optimization of a persistent [`SimplexState`].

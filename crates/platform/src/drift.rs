@@ -25,7 +25,10 @@
 //! function of the trace. Step 0 is always the unperturbed base platform.
 
 use crate::cost::LinkCost;
-use crate::generators::gaussian::sample_normal;
+use crate::generators::gaussian::{sample_normal, sample_normal_at_least};
+use crate::generators::gaussian_field::GaussianPlatformConfig;
+use crate::generators::random::RandomPlatformConfig;
+use crate::generators::tiers::TiersConfig;
 use crate::platform::Platform;
 use bcast_net::{traversal, EdgeId, NodeId};
 use rand::rngs::StdRng;
@@ -36,6 +39,72 @@ use rand::{Rng, SeedableRng};
 /// but is six orders of magnitude slower, so the throughput LP drives its
 /// load to numerical zero.
 pub const FAILED_COST_FACTOR: f64 = 1.0e6;
+
+/// Link-cost distribution for nodes joining a drift trace: the generator
+/// parameters of the base platform's *family*, so a joiner's attachment
+/// links are fresh draws from the same distribution the original links
+/// were sampled from — not empirical copies of existing (possibly already
+/// drifted or atypical) links.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JoinCostModel {
+    /// Mean link bandwidth in bytes/second.
+    pub bandwidth_mean: f64,
+    /// Standard deviation of the link bandwidth.
+    pub bandwidth_dev: f64,
+    /// Lower truncation bound on sampled bandwidths (keeps costs finite).
+    pub bandwidth_floor: f64,
+    /// Per-link start-up latency in seconds.
+    pub latency: f64,
+}
+
+impl JoinCostModel {
+    /// The family parameters of a [`RandomPlatformConfig`] platform.
+    pub fn from_random(config: &RandomPlatformConfig) -> Self {
+        JoinCostModel {
+            bandwidth_mean: config.bandwidth_mean,
+            bandwidth_dev: config.bandwidth_dev,
+            bandwidth_floor: config.bandwidth_floor,
+            latency: config.latency,
+        }
+    }
+
+    /// The family parameters of a [`TiersConfig`] platform (Tiers links
+    /// carry no start-up latency).
+    pub fn from_tiers(config: &TiersConfig) -> Self {
+        JoinCostModel {
+            bandwidth_mean: config.bandwidth_mean,
+            bandwidth_dev: config.bandwidth_dev,
+            bandwidth_floor: config.bandwidth_floor,
+            latency: 0.0,
+        }
+    }
+
+    /// The family parameters of a [`GaussianPlatformConfig`] platform,
+    /// collapsed to its zero-distance marginal: mean `bandwidth_at_zero`
+    /// with the configured relative jitter as deviation.
+    pub fn from_gaussian(config: &GaussianPlatformConfig) -> Self {
+        JoinCostModel {
+            bandwidth_mean: config.bandwidth_at_zero,
+            bandwidth_dev: config.bandwidth_jitter * config.bandwidth_at_zero,
+            bandwidth_floor: config.bandwidth_floor,
+            latency: 0.0,
+        }
+    }
+}
+
+impl Default for JoinCostModel {
+    /// The paper's Table 2 distribution: 100 ± 20 MB/s, floored at
+    /// 10 MB/s, no latency — the parameters shared by the paper's random
+    /// and Tiers configurations.
+    fn default() -> Self {
+        JoinCostModel {
+            bandwidth_mean: 100.0e6,
+            bandwidth_dev: 20.0e6,
+            bandwidth_floor: 10.0e6,
+            latency: 0.0,
+        }
+    }
+}
 
 /// Parameters of [`DriftTrace::generate`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -61,19 +130,32 @@ pub struct DriftConfig {
     pub seed: u64,
     /// Per-step probability that a new node joins the platform. Joiners
     /// attach bidirectionally to [`DriftConfig::attach_degree`] distinct
-    /// alive nodes with link costs resampled from the platform's own live
-    /// links (empirical family resampling). `0.0` — the default of every
-    /// cost-only constructor — disables topology churn entirely and keeps
-    /// the RNG stream bit-identical to pre-churn traces.
+    /// alive nodes; each attachment link's cost is a fresh draw from the
+    /// platform family's generator parameters ([`DriftConfig::join_cost`]).
+    /// `0.0` — the default of every cost-only constructor — disables
+    /// topology churn entirely and keeps the RNG stream bit-identical to
+    /// pre-churn traces.
     pub join_rate: f64,
     /// Per-step probability that one uniformly-chosen alive non-source node
     /// leaves. A departure that would disconnect a surviving node (over the
     /// alive, non-failed edge set) is skipped, as is one that would leave
-    /// fewer than two nodes. Departed nodes never rejoin.
+    /// fewer than two nodes. Departed nodes stay out unless
+    /// [`DriftConfig::rejoin_rate`] brings them back.
     pub leave_rate: f64,
+    /// Per-step probability that one uniformly-chosen *departed* non-source
+    /// node rejoins the platform under its original identity (same node id,
+    /// same processor name, same attachment links with their drifted cost
+    /// factors). A rejoin that would still leave the platform disconnected
+    /// is skipped. `0.0` — the default of every constructor — draws no RNG,
+    /// keeping older traces bit-identical.
+    pub rejoin_rate: f64,
     /// Number of distinct alive nodes a joining node attaches to (clamped
     /// to the current alive count).
     pub attach_degree: usize,
+    /// Link-cost distribution for joining nodes' attachment links. Defaults
+    /// to the paper's Table 2 parameters; pass the matching `from_*`
+    /// constructor when the base platform came from a non-default family.
+    pub join_cost: JoinCostModel,
 }
 
 impl DriftConfig {
@@ -89,7 +171,9 @@ impl DriftConfig {
             seed,
             join_rate: 0.0,
             leave_rate: 0.0,
+            rejoin_rate: 0.0,
             attach_degree: 2,
+            join_cost: JoinCostModel::default(),
         }
     }
 
@@ -134,8 +218,14 @@ pub enum DriftEvent {
     /// Its attachment links start with cost factor 1.0.
     NodeJoin(NodeId),
     /// The node left the platform, taking every incident link with it
-    /// (id in the trace's *full* platform). Departed nodes never rejoin.
+    /// (id in the trace's *full* platform). A departed node stays out
+    /// unless a [`DriftEvent::NodeRejoin`] brings it back.
     NodeLeave(NodeId),
+    /// A previously departed node returned under its original identity (id
+    /// in the trace's *full* platform): same processor, and its incident
+    /// links to currently alive nodes come back with the cost factors they
+    /// kept drifting towards while the node was away.
+    NodeRejoin(NodeId),
 }
 
 /// One snapshot of the trace: cumulative per-edge cost factors, the set of
@@ -338,8 +428,18 @@ impl DriftTrace {
             "the factor corridor must contain 1.0"
         );
         assert!(
-            (0.0..=1.0).contains(&config.join_rate) && (0.0..=1.0).contains(&config.leave_rate),
-            "join/leave rates are probabilities"
+            (0.0..=1.0).contains(&config.join_rate)
+                && (0.0..=1.0).contains(&config.leave_rate)
+                && (0.0..=1.0).contains(&config.rejoin_rate),
+            "join/leave/rejoin rates are probabilities"
+        );
+        assert!(
+            config.join_rate == 0.0
+                || (config.join_cost.bandwidth_floor <= config.join_cost.bandwidth_mean
+                    && config.join_cost.bandwidth_floor > 0.0
+                    && config.join_cost.bandwidth_dev >= 0.0
+                    && config.join_cost.latency >= 0.0),
+            "the join cost model must describe a positive truncated normal"
         );
         assert!(
             config.join_rate == 0.0 || config.attach_degree >= 1,
@@ -411,7 +511,9 @@ impl DriftTrace {
             }
             // 4. At most one departure per step: a uniformly-chosen alive
             //    non-source node, guarded by reachability of the survivors
-            //    over alive non-failed links. Departed nodes never rejoin.
+            //    over alive non-failed links. Departed nodes stay out until
+            //    the rejoin pass (step 6) revives them.
+            let mut left_now = None;
             if config.leave_rate > 0.0 && rng.gen_range(0.0..1.0) < config.leave_rate {
                 let candidates: Vec<NodeId> = (0..graph.node_count())
                     .map(|i| NodeId(i as u32))
@@ -431,6 +533,7 @@ impl DriftTrace {
                     }
                     if churn_feasible(&graph, source, &alive_nodes, &alive_edges, &failed) {
                         events.push(DriftEvent::NodeLeave(v));
+                        left_now = Some(v);
                     } else {
                         // Would disconnect a survivor: the node stays.
                         alive_nodes[v.index()] = true;
@@ -441,22 +544,22 @@ impl DriftTrace {
                 }
             }
             // 5. At most one join per step: a fresh node attached
-            //    bidirectionally to `attach_degree` distinct alive nodes,
-            //    each directed link's cost resampled uniformly from the
-            //    platform's current alive links (so joiners inherit the
-            //    family's empirical cost distribution). New links start at
-            //    cost factor 1.0 and drift from the next step on.
+            //    bidirectionally to `attach_degree` distinct alive nodes.
+            //    Each physical attachment link's bandwidth is a fresh draw
+            //    from the platform family's generator parameters
+            //    (`config.join_cost`) — both directions share the sample,
+            //    matching the generators' bidirectional one-port links —
+            //    so joiners obey the distribution the base platform was
+            //    sampled from rather than copying existing (drifted) links.
+            //    New links start at cost factor 1.0 and drift from the
+            //    next step on.
             if config.join_rate > 0.0 && rng.gen_range(0.0..1.0) < config.join_rate {
                 let mut targets: Vec<NodeId> = (0..graph.node_count())
                     .map(|i| NodeId(i as u32))
                     .filter(|&v| alive_nodes[v.index()])
                     .collect();
-                let donors: Vec<EdgeId> = (0..graph.edge_count())
-                    .map(|i| EdgeId(i as u32))
-                    .filter(|&e| alive_edges[e.index()])
-                    .collect();
                 let degree = config.attach_degree.min(targets.len());
-                if degree >= 1 && !donors.is_empty() {
+                if degree >= 1 {
                     // Partial Fisher-Yates: the first `degree` entries end
                     // up a uniform distinct sample of the alive nodes.
                     for i in 0..degree {
@@ -466,10 +569,16 @@ impl DriftTrace {
                     let name = format!("J{}", graph.node_count());
                     let v = graph.add_node(crate::platform::Processor::new(name));
                     alive_nodes.push(true);
+                    let model = &config.join_cost;
                     for &t in &targets[..degree] {
+                        let bandwidth = sample_normal_at_least(
+                            &mut rng,
+                            model.bandwidth_mean,
+                            model.bandwidth_dev,
+                            model.bandwidth_floor,
+                        );
+                        let cost = LinkCost::one_port(model.latency, 1.0 / bandwidth);
                         for (src, dst) in [(v, t), (t, v)] {
-                            let donor = donors[rng.gen_range(0..donors.len())];
-                            let cost = *graph.edge(donor);
                             graph.add_edge(src, dst, cost);
                             factors.push(1.0);
                             failed.push(false);
@@ -477,6 +586,47 @@ impl DriftTrace {
                         }
                     }
                     events.push(DriftEvent::NodeJoin(v));
+                }
+            }
+            // 6. At most one rejoin per step: a uniformly-chosen departed
+            //    non-source node returns under its original identity. Its
+            //    links to currently alive endpoints come back with the
+            //    cost factors they kept accumulating while it was away
+            //    (links to still-departed nodes stay down). A rejoin whose
+            //    surviving links cannot reach the node is reverted. A node
+            //    that departed this very step is shielded (like links in
+            //    the recovery pass) so it cannot flap within one step.
+            if config.rejoin_rate > 0.0 && rng.gen_range(0.0..1.0) < config.rejoin_rate {
+                let departed: Vec<NodeId> = (0..graph.node_count())
+                    .map(|i| NodeId(i as u32))
+                    .filter(|&v| !alive_nodes[v.index()] && v != source && left_now != Some(v))
+                    .collect();
+                if !departed.is_empty() {
+                    let v = departed[rng.gen_range(0..departed.len())];
+                    alive_nodes[v.index()] = true;
+                    let revived: Vec<usize> = graph
+                        .out_edges(v)
+                        .chain(graph.in_edges(v))
+                        .filter(|e| {
+                            let (src, dst) = (e.src, e.dst);
+                            let other = if src == v { dst } else { src };
+                            alive_nodes[other.index()] && !alive_edges[e.id.index()]
+                        })
+                        .map(|e| e.id.index())
+                        .collect();
+                    for &e in &revived {
+                        alive_edges[e] = true;
+                    }
+                    if churn_feasible(&graph, source, &alive_nodes, &alive_edges, &failed) {
+                        events.push(DriftEvent::NodeRejoin(v));
+                    } else {
+                        // Still unreachable (e.g. all revived links are
+                        // failed): the node stays out.
+                        alive_nodes[v.index()] = false;
+                        for &e in &revived {
+                            alive_edges[e] = false;
+                        }
+                    }
                 }
             }
             debug_assert!(churn_feasible(
@@ -924,6 +1074,103 @@ mod tests {
         }
         assert!(joins > 0, "churn config never joined a node");
         assert!(leaves > 0, "churn config never left a node");
+    }
+
+    #[test]
+    fn joiner_link_costs_follow_the_family_model() {
+        // A base platform whose every link has bandwidth 50 MB/s, and a
+        // join model pinned (dev = 0) to 200 MB/s: every attachment link
+        // must carry the model's cost exactly — a copied donor link would
+        // carry 50 MB/s and fail the assertion.
+        let mut b = Platform::builder();
+        let p = b.add_processors(6);
+        let base_cost = LinkCost::one_port(0.0, 1.0 / 50.0e6);
+        for i in 1..6 {
+            b.add_bidirectional_link(p[0], p[i], base_cost);
+        }
+        let platform = b.build();
+        let config = DriftConfig {
+            join_rate: 1.0,
+            join_cost: JoinCostModel {
+                bandwidth_mean: 200.0e6,
+                bandwidth_dev: 0.0,
+                bandwidth_floor: 10.0e6,
+                latency: 0.0,
+            },
+            ..DriftConfig::gentle(6, 31)
+        };
+        let trace = DriftTrace::generate(&platform, NodeId(0), &config);
+        let g = trace.full().graph();
+        let mut joiner_links = 0usize;
+        for step in 1..trace.len() {
+            for event in &trace.step(step).events {
+                if let DriftEvent::NodeJoin(v) = event {
+                    for e in g.out_edges(*v).chain(g.in_edges(*v)) {
+                        // Only links created *with* the join carry the
+                        // model cost; links added by later joiners
+                        // attaching to `v` do too, so check them all.
+                        let beta = g.edge(e.id).beta;
+                        assert!(
+                            (beta - 1.0 / 200.0e6).abs() <= 1e-18,
+                            "joiner link bandwidth {} not from the model",
+                            1.0 / beta
+                        );
+                        joiner_links += 1;
+                    }
+                }
+            }
+        }
+        assert!(joiner_links >= 4, "join_rate 1.0 produced no attachments");
+    }
+
+    #[test]
+    fn rejoins_revive_departed_nodes_with_stable_identity() {
+        let platform = fixture();
+        let config = DriftConfig {
+            rejoin_rate: 0.7,
+            ..DriftConfig::with_churn(30, 42)
+        };
+        let trace = DriftTrace::generate(&platform, NodeId(0), &config);
+        let mut rejoins = 0usize;
+        for step in 1..trace.len() {
+            let state = trace.step(step);
+            for event in &state.events {
+                if let DriftEvent::NodeRejoin(v) = event {
+                    rejoins += 1;
+                    // The node was alive earlier, departed, and is back.
+                    assert!(state.is_alive_node(*v));
+                    assert!(!trace.step(step - 1).is_alive_node(*v));
+                    assert!((0..step).any(|s| trace.step(s).is_alive_node(*v)));
+                    assert_ne!(*v, NodeId(0), "the source never departs");
+                    // Original identity: the snapshot exposes the same
+                    // processor name the node had before leaving, and the
+                    // remap reports it as a newcomer to incremental state.
+                    let compact = state
+                        .compact_nodes()
+                        .iter()
+                        .position(|&n| n == *v)
+                        .expect("rejoined node is in the compact set");
+                    let snapshot = trace.platform_at(step);
+                    assert_eq!(
+                        snapshot.processor(NodeId(compact as u32)).name,
+                        trace.full().processor(*v).name
+                    );
+                    let remap = trace.remap(step - 1, step);
+                    assert!(remap.new_nodes.contains(&NodeId(compact as u32)));
+                    // It came back connected: at least one incident link
+                    // to an alive endpoint is alive again.
+                    let g = trace.full().graph();
+                    assert!(g
+                        .out_edges(*v)
+                        .chain(g.in_edges(*v))
+                        .any(|e| state.is_alive_edge(e.id)));
+                }
+            }
+            assert!(trace
+                .platform_at(step)
+                .is_broadcast_feasible(trace.source_at(step)));
+        }
+        assert!(rejoins > 0, "rejoin config never revived a node");
     }
 
     #[test]

@@ -239,20 +239,33 @@ fn repaired_schedules_replay_at_their_stated_throughput() {
     }
 }
 
-/// Regression for the seed-2004 stall: step 7 of the random-20 trace
-/// drives the sparse Devex trajectory into a basis whose eta-file
-/// refactorization is singular even when rebuilt every pivot (the eta LU's
-/// partial pivoting is restricted to unclaimed rows, so cancellation can
-/// lose a basis the dense tableau's full-row pivoting absorbs). The cold
-/// solve used to surface this as a spurious `IterationLimit`; it must now
-/// fall back to the dense engine and agree with it.
+/// Regression for the seed-2004 stall: step 7 of the random-20 trace used
+/// to drive the sparse Devex trajectory into a basis the old product-form
+/// eta refactorization declared singular (its partial pivoting was
+/// restricted to unclaimed rows, so cancellation lost a basis the dense
+/// tableau's full-row pivoting absorbs), surfacing first as a spurious
+/// `IterationLimit` and later as a silent dense-engine fallback. With the
+/// Markowitz LU the sparse engine must solve this natively: the
+/// `lp.singular_fallback` counter stays at zero while the solve agrees
+/// with the dense reference.
 #[test]
-fn seed_2004_random20_step7_cold_solve_succeeds() {
+fn seed_2004_random20_step7_solves_natively_on_sparse() {
     let mut rng = StdRng::seed_from_u64(2004);
     let platform = random_platform(&RandomPlatformConfig::paper(20, 0.12), &mut rng);
     let trace = DriftTrace::generate(&platform, NodeId(0), &DriftConfig::with_failures(10, 2004));
     let snapshot = trace.platform_at(7);
+    bcast_obs::enable();
     let sparse = cold_solve(&snapshot);
+    let fallbacks = bcast_obs::counters_snapshot()
+        .iter()
+        .find(|(name, _)| *name == "lp.singular_fallback")
+        .map_or(0, |&(_, v)| v);
+    bcast_obs::disable();
+    bcast_obs::reset_metrics();
+    assert_eq!(
+        fallbacks, 0,
+        "the sparse engine hit the dense fallback {fallbacks} time(s) on the seed-2004 basis"
+    );
     let dense = cut_gen::solve_with(
         &snapshot,
         NodeId(0),

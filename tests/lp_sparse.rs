@@ -1,8 +1,9 @@
 //! Differential test harness for the **sparse revised-simplex** engine.
 //!
-//! The sparse engine (eta-file basis, Devex pricing, FTRAN/BTRAN kernels)
-//! replaced the dense full tableau as the default behind `bcast_lp::solve`
-//! and `SimplexState`. The dense engine is kept as the differential oracle,
+//! The sparse engine (Markowitz-LU basis, Devex pricing, FTRAN/BTRAN
+//! kernels) replaced the dense full tableau as the default behind
+//! `bcast_lp::solve` and
+//! `SimplexState`. The dense engine is kept as the differential oracle,
 //! and every test here pits the two against each other on the *same*
 //! problem:
 //!
@@ -185,6 +186,7 @@ fn cut_generation_tp_matches_across_engines_on_all_families() {
         };
         let sparse = run(SimplexEngine::Sparse, PricingRule::Devex);
         let dantzig = run(SimplexEngine::Sparse, PricingRule::Dantzig);
+        let steepest = run(SimplexEngine::Sparse, PricingRule::SteepestEdge);
         let dense = run(SimplexEngine::Dense, PricingRule::Devex);
         assert_rel_close(
             sparse.optimal.throughput,
@@ -197,6 +199,12 @@ fn cut_generation_tp_matches_across_engines_on_all_families() {
             dense.optimal.throughput,
             1e-6,
             &format!("{label} TP (dantzig)"),
+        );
+        assert_rel_close(
+            steepest.optimal.throughput,
+            dense.optimal.throughput,
+            1e-6,
+            &format!("{label} TP (steepest)"),
         );
         // The sparse loads must support the claimed throughput per
         // destination (primal feasibility of the full cut LP).
