@@ -44,8 +44,8 @@ pub use error::CoreError;
 pub use evaluation::{evaluate_heuristics, evaluate_heuristics_with_optimal, EvaluationRow};
 pub use heuristics::{build_structure, HeuristicKind};
 pub use optimal::{
-    optimal_throughput, CutGenOptions, CutGenResult, CutGenSession, NodeCutSet, OptimalMethod,
-    OptimalThroughput,
+    optimal_throughput, CutGenOptions, CutGenResult, CutGenSession, CutSnapshot, NodeCutSet,
+    OptimalMethod, OptimalThroughput, ScreenSnapshot, SessionSnapshot,
 };
 pub use throughput::{sta_makespan, steady_state_period, steady_state_throughput};
 pub use tree::BroadcastStructure;

@@ -50,8 +50,8 @@ use crate::optimal::{
     PortKey,
 };
 use bcast_lp::{
-    Constraint, ConstraintOp, LpProblem, LpSolution, NewCol, PricingRule, RowId, RowUpdate,
-    SimplexEngine, SimplexOptions, SimplexState, VarId,
+    Constraint, ConstraintOp, LpError, LpProblem, LpSolution, NewCol, PricingRule, RowId,
+    RowUpdate, SimplexEngine, SimplexOptions, SimplexSnapshot, SimplexState, VarId,
 };
 use bcast_net::maxflow::MaxFlowSolver;
 use bcast_net::NodeId;
@@ -112,7 +112,7 @@ impl NodeCutSet {
 }
 
 /// Options of the cut-generation solver.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CutGenOptions {
     /// Purge a cut after its slack stayed non-binding for this many
     /// consecutive master rounds; `None` disables purging.
@@ -1164,6 +1164,298 @@ impl CutGenSession {
             }
             last_solution = self.solve_master(&mut simplex_iterations)?;
         }
+    }
+}
+
+// ---- session snapshots -------------------------------------------------
+
+/// One cut of a [`SessionSnapshot`] — the plain-data image of the private
+/// cut-pool entry, with the master row handle flattened to its raw index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CutSnapshot {
+    /// Source-side membership of the cut's node partition.
+    pub side: Vec<bool>,
+    /// Crossing platform edges (sorted raw indices).
+    pub edges: Vec<u32>,
+    /// Consecutive master rounds with strictly positive slack.
+    pub non_binding_streak: usize,
+    /// False once purged (until re-separated).
+    pub active: bool,
+    /// Raw index of the warm master's row handle, `None` when cold,
+    /// purged, or not yet appended.
+    pub row: Option<usize>,
+}
+
+/// One destination's separation-screen state inside a [`SessionSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScreenSnapshot {
+    /// True when the certificate below is live.
+    pub valid: bool,
+    /// Max-flow measured the last time this destination's oracle ran.
+    pub flow: f64,
+    /// `(edge, flow carried)` over the measured flow's support.
+    pub support: Vec<(u32, f64)>,
+}
+
+/// Plain-data snapshot of a [`CutGenSession`]: everything the session
+/// carries across steps that is not derivable from the platform — options,
+/// the master LP's [`SimplexSnapshot`] (warm mode), the cut pool, the
+/// separation screen, and the stabilization center.
+///
+/// Produced by [`CutGenSession::capture`] / [`CutGenSession::snapshot`] and
+/// consumed by [`CutGenSession::restore`], which validates the snapshot
+/// against the platform it is restored onto and returns
+/// [`LpError::CorruptSnapshot`] (wrapped in [`CoreError::Lp`]) instead of
+/// panicking on malformed input. Restoring is *canonicalizing*: derived
+/// state (max-flow scratch, the cut dedup index, the LP factorization) is
+/// rebuilt from the plain data, so a restored session and a live session
+/// that passed through [`CutGenSession::snapshot`] at the same point are
+/// identical and their subsequent solves agree bit for bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSnapshot {
+    /// The solver options, verbatim (seed cuts included — they only matter
+    /// at construction time but keep the snapshot self-describing).
+    pub options: CutGenOptions,
+    /// Broadcast source node index.
+    pub source: usize,
+    /// Slice size the port constraints were built with.
+    pub slice_size: f64,
+    /// Node count of the session's topology.
+    pub nodes: usize,
+    /// Edge count of the session's topology.
+    pub edges: usize,
+    /// Raw variable index of the throughput variable `TP`.
+    pub tp: usize,
+    /// Raw variable indices of the per-edge load variables.
+    pub n_vars: Vec<usize>,
+    /// Warm mode: the master's [`SimplexSnapshot`]. `None` in cold mode
+    /// (the cold base is rebuilt from the platform — the live solver
+    /// rewrites it from the platform every step anyway).
+    pub master: Option<SimplexSnapshot>,
+    /// Warm mode: raw indices of the one-port row handles.
+    pub port_rows: Vec<usize>,
+    /// Warm mode: `(node index, is output port)` identity of each port row.
+    pub port_keys: Vec<(usize, bool)>,
+    /// The cut pool.
+    pub cuts: Vec<CutSnapshot>,
+    /// Snapshots solved so far.
+    pub steps: usize,
+    /// Per-destination screening state (node order, source removed).
+    pub screen: Vec<ScreenSnapshot>,
+    /// Stabilization center of the in-out separation (empty until the
+    /// first master round).
+    pub stab_center: Vec<f64>,
+}
+
+impl CutGenSession {
+    /// Captures the session as plain data. The live session is untouched —
+    /// use [`snapshot`](CutGenSession::snapshot) when the capture must be
+    /// bit-reproducible by a later [`restore`](CutGenSession::restore).
+    pub fn capture(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            options: self.options.clone(),
+            source: self.source.index(),
+            slice_size: self.slice_size,
+            nodes: self.nodes,
+            edges: self.edges,
+            tp: self.tp.index(),
+            n_vars: self.n_vars.iter().map(|v| v.index()).collect(),
+            master: match &self.master {
+                MasterLp::Warm(state) => Some(state.capture()),
+                MasterLp::Cold(_) => None,
+            },
+            port_rows: self.port_rows.iter().map(|r| r.index()).collect(),
+            port_keys: self
+                .port_keys
+                .iter()
+                .map(|k| (k.node.index(), k.out))
+                .collect(),
+            cuts: self
+                .cuts
+                .iter()
+                .map(|c| CutSnapshot {
+                    side: c.side.clone(),
+                    edges: c.edges.clone(),
+                    non_binding_streak: c.non_binding_streak,
+                    active: c.active,
+                    row: c.row.map(|r| r.index()),
+                })
+                .collect(),
+            steps: self.steps,
+            screen: self
+                .screen
+                .iter()
+                .map(|s| ScreenSnapshot {
+                    valid: s.valid,
+                    flow: s.flow,
+                    support: s.support.clone(),
+                })
+                .collect(),
+            stab_center: self.stab_center.clone(),
+        }
+    }
+
+    /// Captures the session *and* canonicalizes the live state to the
+    /// restored image (`*self = restore(platform, &capture)`), so the
+    /// session's subsequent solves agree bit for bit with a session
+    /// restored from the returned snapshot. The canonicalization only
+    /// rebuilds derived scratch (factorization, max-flow residuals, dedup
+    /// index); the mathematical state — basis, cut pool, screen — is
+    /// unchanged.
+    ///
+    /// # Panics
+    /// Panics when `platform` does not share the session's topology, like
+    /// [`solve_step`](CutGenSession::solve_step).
+    pub fn snapshot(&mut self, platform: &Platform) -> SessionSnapshot {
+        assert!(
+            platform.node_count() == self.nodes && platform.edge_count() == self.edges,
+            "snapshot platform must keep the session's topology \
+             ({}/{} nodes, {}/{} edges)",
+            platform.node_count(),
+            self.nodes,
+            platform.edge_count(),
+            self.edges,
+        );
+        let snapshot = self.capture();
+        *self = Self::restore(platform, &snapshot)
+            .expect("a capture of a live session is structurally valid");
+        snapshot
+    }
+
+    /// Rebuilds a session from a [`SessionSnapshot`] on `platform` (which
+    /// must carry the topology the snapshot was taken on; link costs are
+    /// read fresh from `platform` on the next solve, exactly as the live
+    /// session would).
+    ///
+    /// Every structural invariant is validated first; malformed input —
+    /// truncated files, flipped bytes, a snapshot from a different
+    /// platform — yields `Err(CoreError::Lp(LpError::CorruptSnapshot))`,
+    /// never a panic. A structurally valid snapshot whose simplex basis
+    /// cannot be re-factorized degrades inside the LP layer to its
+    /// deterministic cold-solve fallback.
+    pub fn restore(platform: &Platform, snapshot: &SessionSnapshot) -> Result<Self, CoreError> {
+        let corrupt = || CoreError::Lp(LpError::CorruptSnapshot);
+        let n = snapshot.nodes;
+        let m = snapshot.edges;
+        if n == 0
+            || platform.node_count() != n
+            || platform.edge_count() != m
+            || snapshot.source >= n
+            || !snapshot.slice_size.is_finite()
+            || snapshot.slice_size <= 0.0
+        {
+            return Err(corrupt());
+        }
+        if snapshot.n_vars.len() != m {
+            return Err(corrupt());
+        }
+        if snapshot.screen.len() != n.saturating_sub(1)
+            || !(snapshot.stab_center.is_empty() || snapshot.stab_center.len() == m)
+            || snapshot.stab_center.iter().any(|c| !c.is_finite())
+        {
+            return Err(corrupt());
+        }
+        for s in &snapshot.screen {
+            if !s.flow.is_finite()
+                || s.support
+                    .iter()
+                    .any(|&(e, f)| e as usize >= m || !f.is_finite())
+            {
+                return Err(corrupt());
+            }
+        }
+        let mut index_by_edges = HashMap::with_capacity(snapshot.cuts.len());
+        for (i, cut) in snapshot.cuts.iter().enumerate() {
+            if cut.side.len() != n
+                || cut.edges.is_empty()
+                || cut.edges.iter().any(|&e| e as usize >= m)
+                || index_by_edges.insert(cut.edges.clone(), i).is_some()
+            {
+                return Err(corrupt());
+            }
+        }
+        if snapshot.options.warm_start != snapshot.master.is_some()
+            || snapshot.port_rows.len() != snapshot.port_keys.len()
+            || snapshot.port_keys.iter().any(|&(node, _)| node >= n)
+        {
+            return Err(corrupt());
+        }
+        let master = match &snapshot.master {
+            Some(master) => {
+                let state = SimplexState::restore(master).map_err(CoreError::Lp)?;
+                // Churn steps renumber columns, so the variable layout is
+                // not canonical in warm mode; instead, every session
+                // variable must resolve to a live column of the restored
+                // master, and no two may alias.
+                let mut seen = HashSet::with_capacity(m + 1);
+                for &v in std::iter::once(&snapshot.tp).chain(&snapshot.n_vars) {
+                    if !seen.insert(v) || state.col_id(VarId(v)).is_err() {
+                        return Err(corrupt());
+                    }
+                }
+                MasterLp::Warm(Box::new(state))
+            }
+            None => {
+                // Cold mode rebuilds the base LP from `edge_lp_skeleton`
+                // on every solve, so the layout must be the canonical one:
+                // TP first, then one load variable per edge.
+                if snapshot.tp != 0
+                    || snapshot.n_vars.iter().enumerate().any(|(e, &v)| v != e + 1)
+                    || !snapshot.port_rows.is_empty()
+                {
+                    return Err(corrupt());
+                }
+                let (base, _, _) = edge_lp_skeleton(platform, snapshot.slice_size);
+                MasterLp::Cold(base)
+            }
+        };
+        Ok(CutGenSession {
+            options: snapshot.options.clone(),
+            source: NodeId(snapshot.source as u32),
+            slice_size: snapshot.slice_size,
+            nodes: n,
+            edges: m,
+            tp: VarId(snapshot.tp),
+            n_vars: snapshot.n_vars.iter().map(|&v| VarId(v)).collect(),
+            master,
+            port_rows: snapshot
+                .port_rows
+                .iter()
+                .map(|&r| RowId::from_index(r))
+                .collect(),
+            port_keys: snapshot
+                .port_keys
+                .iter()
+                .map(|&(node, out)| PortKey {
+                    node: NodeId(node as u32),
+                    out,
+                })
+                .collect(),
+            cuts: snapshot
+                .cuts
+                .iter()
+                .map(|c| Cut {
+                    side: c.side.clone(),
+                    edges: c.edges.clone(),
+                    non_binding_streak: c.non_binding_streak,
+                    active: c.active,
+                    row: c.row.map(RowId::from_index),
+                })
+                .collect(),
+            index_by_edges,
+            steps: snapshot.steps,
+            maxflow: MaxFlowSolver::new(platform.graph()),
+            screen: snapshot
+                .screen
+                .iter()
+                .map(|s| DestScreen {
+                    valid: s.valid,
+                    flow: s.flow,
+                    support: s.support.clone(),
+                })
+                .collect(),
+            stab_center: snapshot.stab_center.clone(),
+        })
     }
 }
 

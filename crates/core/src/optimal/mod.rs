@@ -22,7 +22,10 @@
 pub mod cut_gen;
 pub mod direct_lp;
 
-pub use cut_gen::{CutGenOptions, CutGenResult, CutGenSession, NodeCutSet};
+pub use cut_gen::{
+    CutGenOptions, CutGenResult, CutGenSession, CutSnapshot, NodeCutSet, ScreenSnapshot,
+    SessionSnapshot,
+};
 
 use crate::error::CoreError;
 use bcast_lp::{Constraint, ConstraintOp, LpProblem, Sense, VarId};

@@ -60,6 +60,16 @@ impl RowId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds a handle from a raw index, for snapshot-restore plumbing:
+    /// callers persisting handles across a [`SimplexState::capture`] /
+    /// [`SimplexState::restore`] round trip store `index()` and reconstruct
+    /// here. A fabricated index refers to whatever row (live, deleted, or
+    /// none) holds that slot — the state's accessors report `UnknownRow`
+    /// for out-of-range ids rather than panicking.
+    pub fn from_index(index: usize) -> RowId {
+        RowId(index)
+    }
 }
 
 /// Stable handle of a structural column added to (or created with) a
@@ -74,6 +84,12 @@ impl ColId {
     /// The raw column index (the value [`LpError::UnknownCol`] reports).
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Rebuilds a handle from a raw index — the column-side mirror of
+    /// [`RowId::from_index`], with the same caveats.
+    pub fn from_index(index: usize) -> ColId {
+        ColId(index)
     }
 
     /// The [`VarId`] of this column, for referencing it in constraint terms
@@ -360,8 +376,17 @@ impl SimplexState {
     /// factorization was actually alive.
     pub fn invalidate(&mut self) {
         if self.fact.take().is_some() {
-            self.stats.refactorizations += 1;
+            self.note_cold_fallback();
         }
+    }
+
+    /// Bookkeeping of every path that discards the live factorization: the
+    /// next solve is forced through the cold refactorization fallback, which
+    /// the `lp.cold_refactor_fallback` counter makes visible in
+    /// `solver_report` digests (recovery-forced cold solves included).
+    fn note_cold_fallback(&mut self) {
+        self.stats.refactorizations += 1;
+        bcast_obs::counter_add(bcast_obs::names::LP_COLD_REFACTOR_FALLBACK, 1);
     }
 
     /// Appends one constraint and returns its handle. The solver is not
@@ -483,7 +508,7 @@ impl SimplexState {
         }
         if needs_refactor {
             self.fact = None;
-            self.stats.refactorizations += 1;
+            self.note_cold_fallback();
         }
         Ok(())
     }
@@ -548,7 +573,7 @@ impl SimplexState {
                     fact.stale = true;
                 } else {
                     self.fact = None;
-                    self.stats.refactorizations += 1;
+                    self.note_cold_fallback();
                 }
             }
             Some(Fact::Sparse(fact)) => {
@@ -560,7 +585,7 @@ impl SimplexState {
                     fact.stale = true;
                 } else {
                     self.fact = None;
-                    self.stats.refactorizations += 1;
+                    self.note_cold_fallback();
                 }
             }
             None => {}
@@ -675,7 +700,7 @@ impl SimplexState {
                     fact.stale = true;
                 } else {
                     self.fact = None;
-                    self.stats.refactorizations += 1;
+                    self.note_cold_fallback();
                 }
             }
             Some(Fact::Sparse(fact)) => {
@@ -687,7 +712,7 @@ impl SimplexState {
                     fact.stale = true;
                 } else {
                     self.fact = None;
-                    self.stats.refactorizations += 1;
+                    self.note_cold_fallback();
                 }
             }
             None => {}
@@ -789,7 +814,7 @@ impl SimplexState {
         bcast_obs::counter_add(bcast_obs::names::LP_PIVOTS, pivots as u64);
         if !ok {
             self.fact = None;
-            self.stats.refactorizations += 1;
+            self.note_cold_fallback();
         }
         Ok(())
     }
@@ -1026,7 +1051,7 @@ impl SimplexState {
             // warm pivots are charged to the returned solution so callers'
             // iteration totals stay honest.
             self.fact = None;
-            self.stats.refactorizations += 1;
+            self.note_cold_fallback();
             let mut solution = self.cold_solve()?;
             solution.iterations += pivots;
             return Ok(solution);
@@ -1678,6 +1703,393 @@ fn rewrite_rows_sparse(
         );
     }
     fact.sim.refactor_same_basis(options)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore — plain-data capture of the incremental solver
+// ---------------------------------------------------------------------------
+
+/// One stored physical row of a [`SimplexSnapshot`] (the public mirror of
+/// the private row store: already normalized exactly as the state keeps it).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotRow {
+    /// Sparse left-hand side, in stored (normalized) form.
+    pub terms: Vec<(VarId, f64)>,
+    /// Stored operator (appended rows are always `≤`; base rows verbatim).
+    pub op: ConstraintOp,
+    /// Stored right-hand side.
+    pub rhs: f64,
+}
+
+/// Capture of the live factorization's *restorable* core: the basis and the
+/// row/column bookkeeping, deliberately **without** the LU/eta factors,
+/// pricing weights, or tableau numbers — those are rebuilt deterministically
+/// by [`SimplexState::restore`], which is what makes a restored state
+/// *canonical* (two restores from equal snapshots are bit-identical).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactSnapshot {
+    /// Which engine the factorization was live on.
+    pub engine: SimplexEngine,
+    /// Total column count (structural + slack + artificial).
+    pub cols: usize,
+    /// Basic column per assembled row.
+    pub basis: Vec<usize>,
+    /// Enterable flag per column (barred tombstones stay barred).
+    pub allowed: Vec<bool>,
+    /// Artificial column indices of the original cold assembly (sparse
+    /// engine bookkeeping; empty on the dense engine).
+    pub artificial_cols: Vec<usize>,
+    /// Per *physical* row: its slack/surplus column, if any.
+    pub slack_col: Vec<Option<usize>>,
+    /// Per *physical* row: its artificial column, if any.
+    pub art_col: Vec<Option<usize>>,
+    /// Per *physical* row: its assembled-row index (sparse engine; empty on
+    /// the dense engine, whose assembled order is the live-row order).
+    pub row_of: Vec<Option<usize>>,
+}
+
+/// Complete plain-data capture of a [`SimplexState`], sufficient to rebuild
+/// the solver deterministically via [`SimplexState::restore`]. All fields
+/// are public and contain no solver internals (no factorization numbers),
+/// so callers can serialize them with any codec that preserves `f64` bits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimplexSnapshot {
+    /// Solver options the state was built with.
+    pub options: SimplexOptions,
+    /// Objective sense.
+    pub sense: Sense,
+    /// Structural objective coefficients (original sense), tombstones zero.
+    pub objective: Vec<f64>,
+    /// All physical rows ever added, including tombstones, in order.
+    pub rows: Vec<SnapshotRow>,
+    /// Liveness per physical row.
+    pub live: Vec<bool>,
+    /// Liveness per structural column.
+    pub cols_live: Vec<bool>,
+    /// Physical rows of each [`RowId`] group.
+    pub groups: Vec<Vec<usize>>,
+    /// Declared operator per group.
+    pub group_ops: Vec<ConstraintOp>,
+    /// Number of groups that came from the base problem.
+    pub base_groups: usize,
+    /// Optional secondary objective (maximization form).
+    pub secondary: Option<Vec<f64>>,
+    /// Work counters carried across the snapshot boundary.
+    pub stats: IncrementalStats,
+    /// Restorable core of the live factorization, if one was alive.
+    pub fact: Option<FactSnapshot>,
+}
+
+impl SimplexState {
+    /// Captures the state as plain data (see [`SimplexSnapshot`]). The live
+    /// factorization is reduced to its restorable core — basis and
+    /// bookkeeping, not numbers — so `capture` alone does **not** define a
+    /// canonical state; pair it with [`restore`](Self::restore) (or use
+    /// [`snapshot`](Self::snapshot), which does both) when bit-identical
+    /// recovery is required.
+    pub fn capture(&self) -> SimplexSnapshot {
+        let fact = self.fact.as_ref().map(|fact| match fact {
+            Fact::Dense(f) => FactSnapshot {
+                engine: SimplexEngine::Dense,
+                cols: f.tab.cols,
+                basis: f.tab.basis.clone(),
+                allowed: f.tab.allowed.clone(),
+                artificial_cols: Vec::new(),
+                slack_col: f.slack_col.clone(),
+                art_col: f.art_col.clone(),
+                row_of: Vec::new(),
+            },
+            Fact::Sparse(f) => FactSnapshot {
+                engine: SimplexEngine::Sparse,
+                cols: f.sim.prob.ncols,
+                basis: f.sim.prob.basis.clone(),
+                allowed: f.sim.prob.allowed.clone(),
+                artificial_cols: f.sim.prob.artificial_cols.clone(),
+                slack_col: f.slack_col.clone(),
+                art_col: f.art_col.clone(),
+                row_of: f.row_of.clone(),
+            },
+        });
+        SimplexSnapshot {
+            options: self.options,
+            sense: self.sense,
+            objective: self.objective.clone(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| SnapshotRow {
+                    terms: r.terms.clone(),
+                    op: r.op,
+                    rhs: r.rhs,
+                })
+                .collect(),
+            live: self.live.clone(),
+            cols_live: self.cols_live.clone(),
+            groups: self.groups.clone(),
+            group_ops: self.group_ops.clone(),
+            base_groups: self.base_groups,
+            secondary: self.secondary.clone(),
+            stats: self.stats,
+            fact,
+        }
+    }
+
+    /// Rebuilds a solver from a [`SimplexSnapshot`].
+    ///
+    /// The factorization core is re-adopted **warm** when the snapshot's
+    /// basis passes the same acceptance rules as the in-place rebuild paths
+    /// (plain slack-form rows, no live artificials, non-singular basis);
+    /// otherwise — including any basis the rules refuse — the factorization
+    /// is dropped and the next [`resolve`](Self::resolve) answers with an
+    /// authoritative cold solve, counted like every other cold fallback.
+    /// Either way the rebuilt state is *canonical*: every
+    /// restore of an equal snapshot produces bit-identical solver behaviour,
+    /// because all transient numbers (LU/eta factors, pricing weights,
+    /// tableau entries) are re-derived from the snapshot data alone.
+    ///
+    /// Structurally invalid snapshots (inconsistent lengths, out-of-range
+    /// indices, non-finite data) are rejected with
+    /// [`LpError::CorruptSnapshot`] — restore never panics on bad input.
+    pub fn restore(snapshot: &SimplexSnapshot) -> Result<Self, LpError> {
+        validate_snapshot(snapshot)?;
+        let mut state = SimplexState {
+            options: snapshot.options,
+            sense: snapshot.sense,
+            objective: snapshot.objective.clone(),
+            rows: snapshot
+                .rows
+                .iter()
+                .map(|r| StoredRow {
+                    terms: r.terms.clone(),
+                    op: r.op,
+                    rhs: r.rhs,
+                })
+                .collect(),
+            live: snapshot.live.clone(),
+            cols_live: snapshot.cols_live.clone(),
+            groups: snapshot.groups.clone(),
+            group_ops: snapshot.group_ops.clone(),
+            base_groups: snapshot.base_groups,
+            secondary: snapshot.secondary.clone(),
+            fact: None,
+            stats: snapshot.stats,
+        };
+        if let Some(fs) = snapshot.fact.as_ref() {
+            if !state.adopt_fact(fs) {
+                // The snapshot's basis cannot be re-adopted: degrade to a
+                // cold solve on the next resolve, exactly like any other
+                // inexpressible in-place edit.
+                state.fact = None;
+                state.note_cold_fallback();
+            }
+        }
+        Ok(state)
+    }
+
+    /// Captures the state **and canonicalizes it in place**: the live
+    /// factorization is replaced by the restore-side rebuild of its own
+    /// capture, so the surviving process continues from *exactly* the state
+    /// a crash-recovered process would restore to. This is what makes
+    /// snapshot-based recovery bit-identical to the uninterrupted run.
+    pub fn snapshot(&mut self) -> SimplexSnapshot {
+        let snapshot = self.capture();
+        *self = Self::restore(&snapshot).expect("own capture is structurally valid");
+        snapshot
+    }
+
+    /// Re-adopts the captured factorization core under the acceptance rules
+    /// of the in-place rebuild paths. Returns `false` on refusal (caller
+    /// falls back to a cold solve).
+    fn adopt_fact(&mut self, fs: &FactSnapshot) -> bool {
+        if fs.engine != self.options.engine {
+            return false;
+        }
+        let n = self.objective.len();
+        let live_rows: Vec<usize> = (0..self.rows.len()).filter(|&p| self.live[p]).collect();
+        let m = live_rows.len();
+        if fs.basis.len() != m || fs.allowed.len() != fs.cols || fs.cols < n {
+            return false;
+        }
+        if fs.slack_col.len() != self.rows.len()
+            || fs.art_col.len() != self.rows.len()
+            || (fs.engine == SimplexEngine::Sparse && fs.row_of.len() != self.rows.len())
+        {
+            return false;
+        }
+        for &p in &live_rows {
+            let Some(slack) = fs.slack_col[p] else {
+                return false;
+            };
+            if slack >= fs.cols || fs.art_col[p].is_some() {
+                return false;
+            }
+            match self.rows[p].op {
+                ConstraintOp::Le => {}
+                ConstraintOp::Ge if self.rows[p].rhs <= 0.0 => {}
+                _ => return false,
+            }
+        }
+        if fs.basis.iter().any(|&bc| bc >= fs.cols || !fs.allowed[bc]) {
+            return false;
+        }
+        match fs.engine {
+            SimplexEngine::Dense => {
+                let mut fact = DenseFact {
+                    tab: Tableau {
+                        rows: m,
+                        cols: fs.cols,
+                        a: vec![0.0; m * fs.cols],
+                        b: vec![0.0; m],
+                        basis: fs.basis.clone(),
+                        allowed: fs.allowed.clone(),
+                    },
+                    cost: self.maximization_cost(fs.cols),
+                    slack_col: fs.slack_col.clone(),
+                    art_col: fs.art_col.clone(),
+                    stale: true,
+                };
+                // `rebuild_in_basis` re-derives every tableau number from
+                // the stored rows and pivots the captured basis back in; it
+                // never reads the zeroed placeholder above.
+                if !rebuild_in_basis(&mut fact, &self.rows, &self.live, n, &self.options) {
+                    return false;
+                }
+                fact.stale = true;
+                self.fact = Some(Fact::Dense(fact));
+                true
+            }
+            SimplexEngine::Sparse => {
+                // Assembled-row order must be a permutation of the live rows.
+                let mut pos_to_p = vec![usize::MAX; m];
+                for &p in &live_rows {
+                    let Some(pos) = fs.row_of[p] else {
+                        return false;
+                    };
+                    if pos >= m || pos_to_p[pos] != usize::MAX {
+                        return false;
+                    }
+                    pos_to_p[pos] = p;
+                }
+                if fs.artificial_cols.iter().any(|&c| c >= fs.cols) {
+                    return false;
+                }
+                let mut scratch = ScatterVec::default();
+                let mut row_nz = Vec::with_capacity(m);
+                let mut b = Vec::with_capacity(m);
+                for &p in &pos_to_p {
+                    let sign = match self.rows[p].op {
+                        ConstraintOp::Le => 1.0,
+                        ConstraintOp::Ge => -1.0,
+                        ConstraintOp::Eq => unreachable!("rejected above"),
+                    };
+                    let mut rhs = sign * self.rows[p].rhs;
+                    let mut row = sparse::build_structural_row(
+                        n,
+                        &self.rows[p].terms,
+                        sign,
+                        &mut rhs,
+                        &mut scratch,
+                    );
+                    row.push((fs.slack_col[p].expect("checked above") as u32, 1.0));
+                    row_nz.push(row);
+                    b.push(rhs);
+                }
+                let prob_slack_col: Vec<Option<usize>> =
+                    pos_to_p.iter().map(|&p| fs.slack_col[p]).collect();
+                let prob_art_col: Vec<Option<usize>> =
+                    pos_to_p.iter().map(|&p| fs.art_col[p]).collect();
+                let mut prob = sparse::SparseProblem {
+                    m,
+                    n_struct: n,
+                    ncols: fs.cols,
+                    row_nz,
+                    col_nz: vec![Vec::new(); fs.cols],
+                    b,
+                    allowed: fs.allowed.clone(),
+                    basis: fs.basis.clone(),
+                    artificial_cols: fs.artificial_cols.clone(),
+                    slack_col: prob_slack_col,
+                    art_col: prob_art_col,
+                    cols_stale: false,
+                };
+                prob.rebuild_cols();
+                // `SparseSimplex::new` is the canonical reset: fresh eta
+                // file, pricing weights, and scratch — everything transient
+                // is re-derived on the next factorization.
+                let mut fact = SparseFact {
+                    sim: SparseSimplex::new(prob),
+                    cost: self.maximization_cost(fs.cols),
+                    slack_col: fs.slack_col.clone(),
+                    art_col: fs.art_col.clone(),
+                    row_of: fs.row_of.clone(),
+                    stale: true,
+                };
+                fact.stale = true;
+                self.fact = Some(Fact::Sparse(Box::new(fact)));
+                true
+            }
+        }
+    }
+
+    /// Maximization-form cost vector over `cols` total columns.
+    fn maximization_cost(&self, cols: usize) -> Vec<f64> {
+        let sign = match self.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        let mut cost = vec![0.0; cols];
+        for (j, &c) in self.objective.iter().enumerate() {
+            cost[j] = sign * c;
+        }
+        cost
+    }
+}
+
+/// Structural validation of a snapshot before any of it is indexed: every
+/// check that, if skipped, could panic the restore paths on malformed input.
+fn validate_snapshot(s: &SimplexSnapshot) -> Result<(), LpError> {
+    let n = s.objective.len();
+    let bad = || LpError::CorruptSnapshot;
+    if s.cols_live.len() != n || s.live.len() != s.rows.len() {
+        return Err(bad());
+    }
+    if s.group_ops.len() != s.groups.len() || s.base_groups > s.groups.len() {
+        return Err(bad());
+    }
+    if s.objective.iter().any(|c| !c.is_finite()) {
+        return Err(bad());
+    }
+    if let Some(sec) = &s.secondary {
+        if sec.len() != n || sec.iter().any(|c| !c.is_finite()) {
+            return Err(bad());
+        }
+    }
+    for row in &s.rows {
+        if !row.rhs.is_finite() {
+            return Err(bad());
+        }
+        for &(v, c) in &row.terms {
+            if v.index() >= n || !c.is_finite() {
+                return Err(bad());
+            }
+        }
+    }
+    let mut seen = vec![false; s.rows.len()];
+    for group in &s.groups {
+        if group.is_empty() {
+            return Err(bad());
+        }
+        for &p in group {
+            if p >= s.rows.len() || seen[p] {
+                return Err(bad());
+            }
+            seen[p] = true;
+        }
+    }
+    if !seen.iter().all(|&v| v) {
+        return Err(bad());
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -48,7 +48,10 @@ pub mod model;
 pub mod simplex;
 pub(crate) mod sparse;
 
-pub use incremental::{ColId, IncrementalStats, NewCol, RowId, RowUpdate, SimplexState};
+pub use incremental::{
+    ColId, FactSnapshot, IncrementalStats, NewCol, RowId, RowUpdate, SimplexSnapshot, SimplexState,
+    SnapshotRow,
+};
 pub use model::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution, Sense, VarId};
 pub use simplex::{solve, solve_dense, PricingRule, SimplexEngine, SimplexOptions, SolveStatus};
 

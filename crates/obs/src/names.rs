@@ -46,6 +46,21 @@ pub const LP_SINGULAR_FALLBACK: &str = "lp.singular_fallback";
 /// Separation max-flow batches executed by parallel workers (one increment
 /// per sharded batch, not per destination).
 pub const CUTGEN_PARALLEL_BATCHES: &str = "cut_gen.parallel_batches";
+/// Warm-path bailouts of the incremental LP: edits the in-place paths could
+/// not express (binding-row deletes, artificial-carrying rows, singular
+/// rebuilt bases, stalled warm passes, refused snapshot restores) that
+/// forced the next solve through the cold refactorization fallback.
+pub const LP_COLD_REFACTOR_FALLBACK: &str = "lp.cold_refactor_fallback";
+/// Commands applied by the `bcast-service` daemon (all sessions).
+pub const SERVICE_COMMANDS: &str = "service.commands";
+/// Service snapshots written.
+pub const SERVICE_SNAPSHOTS: &str = "service.snapshots";
+/// Sessions recovered from a snapshot + WAL tail at service open.
+pub const SERVICE_RECOVERIES: &str = "service.recoveries";
+/// Corrupt or torn snapshot/WAL artifacts detected (and degraded past).
+pub const SERVICE_CORRUPT_ARTIFACTS: &str = "service.corrupt_artifacts";
+/// Platform-digest cache hits at session creation.
+pub const SERVICE_DIGEST_HITS: &str = "service.digest_hits";
 
 // ---- gauges ------------------------------------------------------------
 
@@ -87,3 +102,7 @@ pub const SPAN_SCHED_REPAIR: &str = "sched.repair";
 pub const SPAN_SCHED_REPAIR_CHURN: &str = "sched.repair_churn";
 /// Schedule replay in the simulator.
 pub const SPAN_SIM_REPLAY: &str = "sim.replay";
+/// One command applied by the `bcast-service` daemon.
+pub const SPAN_SERVICE_APPLY: &str = "service.apply";
+/// Crash recovery at service open (snapshot restore + WAL tail replay).
+pub const SPAN_SERVICE_RECOVER: &str = "service.recover";

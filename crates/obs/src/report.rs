@@ -286,9 +286,22 @@ pub fn check(text: &str) -> Result<CheckSummary, String> {
     let mut by_type: HashMap<String, usize> = HashMap::new();
     let mut saw_run_end = false;
     let mut records = 0usize;
-    for (i, line) in text.lines().enumerate() {
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
         let lineno = i + 1;
-        let record = parse_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        // A final line that fails to parse is almost always a torn write —
+        // the producer died (or was killed) mid-record. Name it as such so
+        // the CI gate's failure reads as "crash artifact", not "schema
+        // drift"; either way the check fails.
+        let record = match parse_line(line) {
+            Ok(record) => record,
+            Err(e) if i + 1 == lines.len() && records > 0 => {
+                return Err(format!(
+                    "line {lineno}: torn final record (journal truncated mid-write): {e}"
+                ))
+            }
+            Err(e) => return Err(format!("line {lineno}: {e}")),
+        };
         let Some(Value::Str(rtype)) = record.get("type") else {
             return Err(format!("line {lineno}: missing string field \"type\""));
         };
@@ -614,6 +627,29 @@ mod tests {
         );
         let err = check(missing_field).unwrap_err();
         assert!(err.contains("total_ns"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn check_names_a_torn_final_record() {
+        // A journal whose producer was killed mid-write: the last line is
+        // cut off mid-record. Every cut point of the final record must be
+        // rejected — and named as a torn write, not generic schema drift.
+        let trimmed = SAMPLE.trim_end_matches('\n');
+        let last_line_start = trimmed.rfind('\n').expect("multi-line sample") + 1;
+        for cut in last_line_start + 1..trimmed.len() {
+            let err = check(&trimmed[..cut]).expect_err("torn journal accepted");
+            assert!(
+                err.contains("torn final record") || err.contains("run_end"),
+                "cut at {cut}: unexpected error: {err}"
+            );
+        }
+        // Torn *mid-file* damage keeps the plain diagnostics.
+        let mut mid = String::from(&SAMPLE[..last_line_start - 1]);
+        mid.truncate(mid.len() / 2);
+        mid.push('\n');
+        mid.push_str(&SAMPLE[last_line_start..]);
+        let err = check(&mid).expect_err("mid-file damage accepted");
+        assert!(!err.contains("torn final record"), "unexpected: {err}");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod schedule;
 pub use error::SchedError;
 pub use packing::pack_arborescences;
 pub use rounding::{round_loads, RoundedLoads, RoundingConfig};
-pub use schedule::{PeriodicSchedule, ScheduleRound, ScheduledTransfer};
+pub use schedule::{PeriodicSchedule, ScheduleParts, ScheduleRound, ScheduledTransfer};
 
 use bcast_core::{BroadcastStructure, OptimalThroughput};
 use bcast_net::{EdgeId, NodeId};

@@ -324,6 +324,131 @@ impl PeriodicSchedule {
         }
         Ok(())
     }
+
+    /// Disassembles the schedule into its plain-data [`ScheduleParts`] —
+    /// the snapshot surface of `bcast-service`. Lossless:
+    /// [`PeriodicSchedule::from_parts`] reassembles an identical schedule.
+    pub fn to_parts(&self) -> ScheduleParts {
+        ScheduleParts {
+            source: self.source.index(),
+            model: self.model,
+            slice_size: self.slice_size,
+            period: self.period,
+            lp_throughput: self.lp_throughput,
+            transfers: self.transfers.clone(),
+            rounds: self.rounds.clone(),
+            trees: self.trees.clone(),
+            send_busy: self.send_busy.clone(),
+            recv_busy: self.recv_busy.clone(),
+            max_lag: self.max_lag,
+            rounding: self.rounding.clone(),
+        }
+    }
+
+    /// Reassembles a schedule from [`ScheduleParts`] captured on a platform
+    /// with `platform`'s topology. Every index and length is
+    /// bounds-checked against `platform` first — malformed parts (from a
+    /// truncated or corrupted snapshot) yield [`SchedError::Invalid`],
+    /// never a panic — but *semantic* schedule invariants are not
+    /// re-proved here; run [`PeriodicSchedule::validate`] for that.
+    pub fn from_parts(platform: &Platform, parts: &ScheduleParts) -> Result<Self, SchedError> {
+        let n = platform.node_count();
+        let m = platform.edge_count();
+        let invalid = |reason: &str| Err(SchedError::Invalid(format!("schedule parts: {reason}")));
+        if parts.source >= n {
+            return invalid("source out of range");
+        }
+        if !parts.slice_size.is_finite()
+            || parts.slice_size <= 0.0
+            || !parts.period.is_finite()
+            || parts.period < 0.0
+            || !parts.lp_throughput.is_finite()
+        {
+            return invalid("non-finite or non-positive scalars");
+        }
+        if parts.send_busy.len() != n
+            || parts.recv_busy.len() != n
+            || parts.send_busy.iter().any(|b| !b.is_finite())
+            || parts.recv_busy.iter().any(|b| !b.is_finite())
+        {
+            return invalid("port busy vectors do not match the platform");
+        }
+        for t in &parts.transfers {
+            if t.edge.index() >= m {
+                return invalid("transfer edge out of range");
+            }
+            if t.round >= parts.rounds.len() {
+                return invalid("transfer round out of range");
+            }
+            if !t.start.is_finite() || !t.finish.is_finite() {
+                return invalid("non-finite transfer times");
+            }
+        }
+        for round in &parts.rounds {
+            if round.transfers.iter().any(|&t| t >= parts.transfers.len()) {
+                return invalid("round references a missing transfer");
+            }
+            if !round.duration.is_finite() {
+                return invalid("non-finite round duration");
+            }
+        }
+        if parts
+            .trees
+            .iter()
+            .any(|tree| tree.iter().any(|e| e.index() >= m))
+        {
+            return invalid("tree edge out of range");
+        }
+        if parts.rounding.multiplicity.len() != m || parts.rounding.dominated.len() != m {
+            return invalid("rounding vectors do not match the platform");
+        }
+        Ok(PeriodicSchedule {
+            source: NodeId(parts.source as u32),
+            model: parts.model,
+            slice_size: parts.slice_size,
+            period: parts.period,
+            lp_throughput: parts.lp_throughput,
+            transfers: parts.transfers.clone(),
+            rounds: parts.rounds.clone(),
+            trees: parts.trees.clone(),
+            send_busy: parts.send_busy.clone(),
+            recv_busy: parts.recv_busy.clone(),
+            max_lag: parts.max_lag,
+            rounding: parts.rounding.clone(),
+        })
+    }
+}
+
+/// The plain-data image of a [`PeriodicSchedule`] — every private field,
+/// flattened for external serialization (the `bcast-service` snapshot
+/// codec). Produced by [`PeriodicSchedule::to_parts`], consumed by
+/// [`PeriodicSchedule::from_parts`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleParts {
+    /// Broadcast source node index.
+    pub source: usize,
+    /// Port model the timetable was built for.
+    pub model: CommModel,
+    /// Slice size the schedule is calibrated for, in bytes.
+    pub slice_size: f64,
+    /// Achieved period in seconds.
+    pub period: f64,
+    /// LP throughput bound the schedule was synthesized against.
+    pub lp_throughput: f64,
+    /// The scheduled transfers of one period.
+    pub transfers: Vec<ScheduledTransfer>,
+    /// The communication rounds (matchings) of one period.
+    pub rounds: Vec<ScheduleRound>,
+    /// `trees[j]` is the spanning arborescence of batch slice `j`.
+    pub trees: Vec<Vec<EdgeId>>,
+    /// Send-port busy time per node and period, in seconds.
+    pub send_busy: Vec<f64>,
+    /// Receive-port busy time per node and period, in seconds.
+    pub recv_busy: Vec<f64>,
+    /// Largest inter-period lag.
+    pub max_lag: usize,
+    /// Rounding statistics (batch size, multiplicities, loss bound).
+    pub rounding: RoundedLoads,
 }
 
 /// How long a transfer occupies its sender's port.

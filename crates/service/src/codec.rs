@@ -1,0 +1,429 @@
+//! Binary codecs for the solver-state snapshot types of the lower crates:
+//! [`SimplexSnapshot`] (bcast-lp), [`SessionSnapshot`] (bcast-core), and
+//! [`ScheduleParts`] (bcast-sched).
+//!
+//! The lower crates expose their snapshots as plain public data and stay
+//! codec-agnostic (the workspace's `serde` is a no-op stand-in); the
+//! on-disk encoding lives here, next to the only consumer. All `f64`s
+//! travel as IEEE-754 bit patterns, so a round trip is bit-exact.
+//!
+//! Decoders are *total* — corrupt bytes produce [`WireError`], never a
+//! panic — but deliberately shallow: structural validation (index ranges,
+//! length agreement, finiteness) is the job of the owning crates'
+//! `restore` functions, which these decoders feed.
+
+use crate::wire::{Reader, WireError, Writer};
+use bcast_core::{CutGenOptions, CutSnapshot, NodeCutSet, ScreenSnapshot, SessionSnapshot};
+use bcast_lp::{
+    ConstraintOp, FactSnapshot, IncrementalStats, PricingRule, Sense, SimplexEngine,
+    SimplexOptions, SimplexSnapshot, SnapshotRow, VarId,
+};
+use bcast_net::EdgeId;
+use bcast_platform::CommModel;
+use bcast_sched::{RoundedLoads, ScheduleParts, ScheduleRound, ScheduledTransfer};
+
+// ---- small enums -------------------------------------------------------
+
+fn put_engine(w: &mut Writer, engine: SimplexEngine) {
+    w.put_u8(match engine {
+        SimplexEngine::Sparse => 0,
+        SimplexEngine::Dense => 1,
+    });
+}
+
+fn get_engine(r: &mut Reader) -> Result<SimplexEngine, WireError> {
+    match r.get_u8()? {
+        0 => Ok(SimplexEngine::Sparse),
+        1 => Ok(SimplexEngine::Dense),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_pricing(w: &mut Writer, pricing: PricingRule) {
+    w.put_u8(match pricing {
+        PricingRule::Devex => 0,
+        PricingRule::Dantzig => 1,
+        PricingRule::SteepestEdge => 2,
+    });
+}
+
+fn get_pricing(r: &mut Reader) -> Result<PricingRule, WireError> {
+    match r.get_u8()? {
+        0 => Ok(PricingRule::Devex),
+        1 => Ok(PricingRule::Dantzig),
+        2 => Ok(PricingRule::SteepestEdge),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_sense(w: &mut Writer, sense: Sense) {
+    w.put_u8(match sense {
+        Sense::Maximize => 0,
+        Sense::Minimize => 1,
+    });
+}
+
+fn get_sense(r: &mut Reader) -> Result<Sense, WireError> {
+    match r.get_u8()? {
+        0 => Ok(Sense::Maximize),
+        1 => Ok(Sense::Minimize),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_op(w: &mut Writer, op: ConstraintOp) {
+    w.put_u8(match op {
+        ConstraintOp::Le => 0,
+        ConstraintOp::Ge => 1,
+        ConstraintOp::Eq => 2,
+    });
+}
+
+fn get_op(r: &mut Reader) -> Result<ConstraintOp, WireError> {
+    match r.get_u8()? {
+        0 => Ok(ConstraintOp::Le),
+        1 => Ok(ConstraintOp::Ge),
+        2 => Ok(ConstraintOp::Eq),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_model(w: &mut Writer, model: CommModel) {
+    w.put_u8(match model {
+        CommModel::OnePort => 0,
+        CommModel::OnePortUnidirectional => 1,
+        CommModel::MultiPort => 2,
+    });
+}
+
+fn get_model(r: &mut Reader) -> Result<CommModel, WireError> {
+    match r.get_u8()? {
+        0 => Ok(CommModel::OnePort),
+        1 => Ok(CommModel::OnePortUnidirectional),
+        2 => Ok(CommModel::MultiPort),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+// ---- bcast-lp: SimplexSnapshot -----------------------------------------
+
+fn put_simplex_options(w: &mut Writer, o: &SimplexOptions) {
+    w.put_f64(o.cost_tolerance);
+    w.put_f64(o.pivot_tolerance);
+    w.put_f64(o.feasibility_tolerance);
+    w.put_usize(o.max_iterations);
+    w.put_usize(o.bland_threshold);
+    put_engine(w, o.engine);
+    put_pricing(w, o.pricing);
+    w.put_usize(o.refactor_interval);
+}
+
+fn get_simplex_options(r: &mut Reader) -> Result<SimplexOptions, WireError> {
+    Ok(SimplexOptions {
+        cost_tolerance: r.get_f64()?,
+        pivot_tolerance: r.get_f64()?,
+        feasibility_tolerance: r.get_f64()?,
+        max_iterations: r.get_usize()?,
+        bland_threshold: r.get_usize()?,
+        engine: get_engine(r)?,
+        pricing: get_pricing(r)?,
+        refactor_interval: r.get_usize()?,
+    })
+}
+
+fn put_snapshot_row(w: &mut Writer, row: &SnapshotRow) {
+    w.put_seq(&row.terms, |w, &(var, coeff)| {
+        w.put_usize(var.index());
+        w.put_f64(coeff);
+    });
+    put_op(w, row.op);
+    w.put_f64(row.rhs);
+}
+
+fn get_snapshot_row(r: &mut Reader) -> Result<SnapshotRow, WireError> {
+    Ok(SnapshotRow {
+        terms: r.get_seq(16, |r| Ok((VarId(r.get_usize()?), r.get_f64()?)))?,
+        op: get_op(r)?,
+        rhs: r.get_f64()?,
+    })
+}
+
+fn put_fact(w: &mut Writer, f: &FactSnapshot) {
+    put_engine(w, f.engine);
+    w.put_usize(f.cols);
+    w.put_seq(&f.basis, |w, &b| w.put_usize(b));
+    w.put_seq(&f.allowed, |w, &a| w.put_bool(a));
+    w.put_seq(&f.artificial_cols, |w, &a| w.put_usize(a));
+    w.put_seq(&f.slack_col, |w, s| w.put_opt_usize(s));
+    w.put_seq(&f.art_col, |w, a| w.put_opt_usize(a));
+    w.put_seq(&f.row_of, |w, p| w.put_opt_usize(p));
+}
+
+fn get_fact(r: &mut Reader) -> Result<FactSnapshot, WireError> {
+    Ok(FactSnapshot {
+        engine: get_engine(r)?,
+        cols: r.get_usize()?,
+        basis: r.get_seq(8, |r| r.get_usize())?,
+        allowed: r.get_seq(1, |r| r.get_bool())?,
+        artificial_cols: r.get_seq(8, |r| r.get_usize())?,
+        slack_col: r.get_seq(1, |r| r.get_opt_usize())?,
+        art_col: r.get_seq(1, |r| r.get_opt_usize())?,
+        row_of: r.get_seq(1, |r| r.get_opt_usize())?,
+    })
+}
+
+fn put_incremental_stats(w: &mut Writer, s: &IncrementalStats) {
+    w.put_usize(s.cold_solves);
+    w.put_usize(s.warm_solves);
+    w.put_usize(s.refactorizations);
+    w.put_usize(s.total_pivots);
+    w.put_usize(s.dual_pivots);
+    w.put_usize(s.rows_added);
+    w.put_usize(s.rows_deleted);
+    w.put_usize(s.rows_updated);
+    w.put_usize(s.cols_added);
+    w.put_usize(s.cols_deleted);
+}
+
+fn get_incremental_stats(r: &mut Reader) -> Result<IncrementalStats, WireError> {
+    Ok(IncrementalStats {
+        cold_solves: r.get_usize()?,
+        warm_solves: r.get_usize()?,
+        refactorizations: r.get_usize()?,
+        total_pivots: r.get_usize()?,
+        dual_pivots: r.get_usize()?,
+        rows_added: r.get_usize()?,
+        rows_deleted: r.get_usize()?,
+        rows_updated: r.get_usize()?,
+        cols_added: r.get_usize()?,
+        cols_deleted: r.get_usize()?,
+    })
+}
+
+/// Encodes a [`SimplexSnapshot`].
+pub fn put_simplex_snapshot(w: &mut Writer, s: &SimplexSnapshot) {
+    put_simplex_options(w, &s.options);
+    put_sense(w, s.sense);
+    w.put_seq(&s.objective, |w, &c| w.put_f64(c));
+    w.put_seq(&s.rows, put_snapshot_row);
+    w.put_seq(&s.live, |w, &l| w.put_bool(l));
+    w.put_seq(&s.cols_live, |w, &l| w.put_bool(l));
+    w.put_seq(&s.groups, |w, group| {
+        w.put_seq(group, |w, &p| w.put_usize(p))
+    });
+    w.put_seq(&s.group_ops, |w, &op| put_op(w, op));
+    w.put_usize(s.base_groups);
+    w.put_opt(&s.secondary, |w, sec| w.put_seq(sec, |w, &c| w.put_f64(c)));
+    put_incremental_stats(w, &s.stats);
+    w.put_opt(&s.fact, put_fact);
+}
+
+/// Decodes a [`SimplexSnapshot`].
+pub fn get_simplex_snapshot(r: &mut Reader) -> Result<SimplexSnapshot, WireError> {
+    Ok(SimplexSnapshot {
+        options: get_simplex_options(r)?,
+        sense: get_sense(r)?,
+        objective: r.get_seq(8, |r| r.get_f64())?,
+        rows: r.get_seq(17, get_snapshot_row)?,
+        live: r.get_seq(1, |r| r.get_bool())?,
+        cols_live: r.get_seq(1, |r| r.get_bool())?,
+        groups: r.get_seq(8, |r| r.get_seq(8, |r| r.get_usize()))?,
+        group_ops: r.get_seq(1, get_op)?,
+        base_groups: r.get_usize()?,
+        secondary: r.get_opt(|r| r.get_seq(8, |r| r.get_f64()))?,
+        stats: get_incremental_stats(r)?,
+        fact: r.get_opt(get_fact)?,
+    })
+}
+
+// ---- bcast-core: SessionSnapshot ---------------------------------------
+
+fn put_cut_gen_options(w: &mut Writer, o: &CutGenOptions) {
+    w.put_opt_usize(&o.purge_after);
+    w.put_seq(&o.seed_cuts, |w, cut| {
+        w.put_seq(&cut.source_side, |w, &s| w.put_bool(s))
+    });
+    w.put_bool(o.warm_start);
+    put_engine(w, o.lp_engine);
+    put_pricing(w, o.pricing);
+    w.put_bool(o.screen_separation);
+    w.put_usize(o.separation_threads);
+    w.put_opt_usize(&o.iteration_budget);
+}
+
+fn get_cut_gen_options(r: &mut Reader) -> Result<CutGenOptions, WireError> {
+    Ok(CutGenOptions {
+        purge_after: r.get_opt_usize()?,
+        seed_cuts: r.get_seq(8, |r| {
+            Ok(NodeCutSet {
+                source_side: r.get_seq(1, |r| r.get_bool())?,
+            })
+        })?,
+        warm_start: r.get_bool()?,
+        lp_engine: get_engine(r)?,
+        pricing: get_pricing(r)?,
+        screen_separation: r.get_bool()?,
+        separation_threads: r.get_usize()?,
+        iteration_budget: r.get_opt_usize()?,
+    })
+}
+
+fn put_cut(w: &mut Writer, c: &CutSnapshot) {
+    w.put_seq(&c.side, |w, &s| w.put_bool(s));
+    w.put_seq(&c.edges, |w, &e| w.put_u32(e));
+    w.put_usize(c.non_binding_streak);
+    w.put_bool(c.active);
+    w.put_opt_usize(&c.row);
+}
+
+fn get_cut(r: &mut Reader) -> Result<CutSnapshot, WireError> {
+    Ok(CutSnapshot {
+        side: r.get_seq(1, |r| r.get_bool())?,
+        edges: r.get_seq(4, |r| r.get_u32())?,
+        non_binding_streak: r.get_usize()?,
+        active: r.get_bool()?,
+        row: r.get_opt_usize()?,
+    })
+}
+
+fn put_screen(w: &mut Writer, s: &ScreenSnapshot) {
+    w.put_bool(s.valid);
+    w.put_f64(s.flow);
+    w.put_seq(&s.support, |w, &(e, f)| {
+        w.put_u32(e);
+        w.put_f64(f);
+    });
+}
+
+fn get_screen(r: &mut Reader) -> Result<ScreenSnapshot, WireError> {
+    Ok(ScreenSnapshot {
+        valid: r.get_bool()?,
+        flow: r.get_f64()?,
+        support: r.get_seq(12, |r| Ok((r.get_u32()?, r.get_f64()?)))?,
+    })
+}
+
+/// Encodes a cut-generation [`SessionSnapshot`].
+pub fn put_session_snapshot(w: &mut Writer, s: &SessionSnapshot) {
+    put_cut_gen_options(w, &s.options);
+    w.put_usize(s.source);
+    w.put_f64(s.slice_size);
+    w.put_usize(s.nodes);
+    w.put_usize(s.edges);
+    w.put_usize(s.tp);
+    w.put_seq(&s.n_vars, |w, &v| w.put_usize(v));
+    w.put_opt(&s.master, put_simplex_snapshot);
+    w.put_seq(&s.port_rows, |w, &p| w.put_usize(p));
+    w.put_seq(&s.port_keys, |w, &(node, out)| {
+        w.put_usize(node);
+        w.put_bool(out);
+    });
+    w.put_seq(&s.cuts, put_cut);
+    w.put_usize(s.steps);
+    w.put_seq(&s.screen, put_screen);
+    w.put_seq(&s.stab_center, |w, &c| w.put_f64(c));
+}
+
+/// Decodes a cut-generation [`SessionSnapshot`].
+pub fn get_session_snapshot(r: &mut Reader) -> Result<SessionSnapshot, WireError> {
+    Ok(SessionSnapshot {
+        options: get_cut_gen_options(r)?,
+        source: r.get_usize()?,
+        slice_size: r.get_f64()?,
+        nodes: r.get_usize()?,
+        edges: r.get_usize()?,
+        tp: r.get_usize()?,
+        n_vars: r.get_seq(8, |r| r.get_usize())?,
+        master: r.get_opt(get_simplex_snapshot)?,
+        port_rows: r.get_seq(8, |r| r.get_usize())?,
+        port_keys: r.get_seq(9, |r| Ok((r.get_usize()?, r.get_bool()?)))?,
+        cuts: r.get_seq(26, get_cut)?,
+        steps: r.get_usize()?,
+        screen: r.get_seq(17, get_screen)?,
+        stab_center: r.get_seq(8, |r| r.get_f64())?,
+    })
+}
+
+// ---- bcast-sched: ScheduleParts ----------------------------------------
+
+fn put_transfer(w: &mut Writer, t: &ScheduledTransfer) {
+    w.put_u32(t.edge.0);
+    w.put_usize(t.slice);
+    w.put_usize(t.round);
+    w.put_usize(t.lag);
+    w.put_f64(t.start);
+    w.put_f64(t.finish);
+}
+
+fn get_transfer(r: &mut Reader) -> Result<ScheduledTransfer, WireError> {
+    Ok(ScheduledTransfer {
+        edge: EdgeId(r.get_u32()?),
+        slice: r.get_usize()?,
+        round: r.get_usize()?,
+        lag: r.get_usize()?,
+        start: r.get_f64()?,
+        finish: r.get_f64()?,
+    })
+}
+
+fn put_rounding(w: &mut Writer, rl: &RoundedLoads) {
+    w.put_usize(rl.slices_per_period);
+    w.put_seq(&rl.multiplicity, |w, &m| w.put_u32(m));
+    w.put_f64(rl.ideal_period);
+    w.put_f64(rl.loss_bound);
+    w.put_usize(rl.repairs);
+    w.put_seq(&rl.dominated, |w, &d| w.put_bool(d));
+}
+
+fn get_rounding(r: &mut Reader) -> Result<RoundedLoads, WireError> {
+    Ok(RoundedLoads {
+        slices_per_period: r.get_usize()?,
+        multiplicity: r.get_seq(4, |r| r.get_u32())?,
+        ideal_period: r.get_f64()?,
+        loss_bound: r.get_f64()?,
+        repairs: r.get_usize()?,
+        dominated: r.get_seq(1, |r| r.get_bool())?,
+    })
+}
+
+/// Encodes [`ScheduleParts`].
+pub fn put_schedule_parts(w: &mut Writer, p: &ScheduleParts) {
+    w.put_usize(p.source);
+    put_model(w, p.model);
+    w.put_f64(p.slice_size);
+    w.put_f64(p.period);
+    w.put_f64(p.lp_throughput);
+    w.put_seq(&p.transfers, put_transfer);
+    w.put_seq(&p.rounds, |w, round| {
+        w.put_seq(&round.transfers, |w, &t| w.put_usize(t));
+        w.put_f64(round.duration);
+    });
+    w.put_seq(&p.trees, |w, tree| w.put_seq(tree, |w, &e| w.put_u32(e.0)));
+    w.put_seq(&p.send_busy, |w, &b| w.put_f64(b));
+    w.put_seq(&p.recv_busy, |w, &b| w.put_f64(b));
+    w.put_usize(p.max_lag);
+    put_rounding(w, &p.rounding);
+}
+
+/// Decodes [`ScheduleParts`].
+pub fn get_schedule_parts(r: &mut Reader) -> Result<ScheduleParts, WireError> {
+    Ok(ScheduleParts {
+        source: r.get_usize()?,
+        model: get_model(r)?,
+        slice_size: r.get_f64()?,
+        period: r.get_f64()?,
+        lp_throughput: r.get_f64()?,
+        transfers: r.get_seq(44, get_transfer)?,
+        rounds: r.get_seq(16, |r| {
+            Ok(ScheduleRound {
+                transfers: r.get_seq(8, |r| r.get_usize())?,
+                duration: r.get_f64()?,
+            })
+        })?,
+        trees: r.get_seq(8, |r| r.get_seq(4, |r| Ok(EdgeId(r.get_u32()?))))?,
+        send_busy: r.get_seq(8, |r| r.get_f64())?,
+        recv_busy: r.get_seq(8, |r| r.get_f64())?,
+        max_lag: r.get_usize()?,
+        rounding: get_rounding(r)?,
+    })
+}

@@ -1,0 +1,70 @@
+//! Error surface of `bcast-service`.
+
+use crate::fault::KillPoint;
+use crate::wire::WireError;
+use std::fmt;
+
+/// Errors reported by the service layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Filesystem failure on a durable artifact.
+    Io(std::io::Error),
+    /// An injected fault killed the process at this point (the
+    /// fault-injection harness treats this as the crash; a real crash has
+    /// the same on-disk effect without the courtesy of a return value).
+    Killed(KillPoint),
+    /// A durable artifact failed decoding or validation. Recovery degrades
+    /// past corrupt artifacts instead of surfacing this; it only escapes
+    /// when *both* the snapshot and the full WAL replay are unusable.
+    Corrupt(String),
+    /// A command named a session that does not exist.
+    UnknownSession(String),
+    /// A `CreateSession` reused an existing session name.
+    DuplicateSession(String),
+    /// The solver failed a step (propagated from `bcast-core`).
+    Core(bcast_core::CoreError),
+    /// Schedule synthesis or repair failed (propagated from `bcast-sched`).
+    Sched(bcast_sched::SchedError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o failure: {e}"),
+            ServiceError::Killed(point) => write!(f, "killed by injected fault at {point:?}"),
+            ServiceError::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
+            ServiceError::UnknownSession(name) => write!(f, "unknown session {name:?}"),
+            ServiceError::DuplicateSession(name) => {
+                write!(f, "session {name:?} already exists")
+            }
+            ServiceError::Core(e) => write!(f, "solver failure: {e}"),
+            ServiceError::Sched(e) => write!(f, "schedule failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Corrupt(e.to_string())
+    }
+}
+
+impl From<bcast_core::CoreError> for ServiceError {
+    fn from(e: bcast_core::CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<bcast_sched::SchedError> for ServiceError {
+    fn from(e: bcast_sched::SchedError) -> Self {
+        ServiceError::Sched(e)
+    }
+}

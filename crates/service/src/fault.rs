@@ -1,0 +1,114 @@
+//! Fault injection: seeded kill points at every command boundary and
+//! mid-write, plus free-function artifact corruptors.
+//!
+//! The harness runs the *same deterministic command sequence* twice — once
+//! uninterrupted, once with a [`FaultPlan`] that kills the service at one
+//! chosen point — then re-opens the killed service from its on-disk
+//! artifacts and drives the remaining commands. The crash-equivalence
+//! tests assert the two runs are bit-identical per step.
+//!
+//! A kill is modelled as [`crate::ServiceError::Killed`] returned *after*
+//! the partial side effects of the kill point have hit the disk: a
+//! mid-append kill leaves a torn WAL record, a mid-snapshot kill leaves a
+//! torn snapshot file. Dropping the killed [`crate::Service`] without any
+//! cleanup is exactly what `SIGKILL` would leave behind.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Where the injected crash happens, relative to the WAL sequence number
+/// of the command being applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Before the command is appended to the WAL: the command is lost
+    /// entirely (the client never got an acknowledgement, so losing it is
+    /// correct — recovery resumes at the previous command).
+    BeforeAppend(u64),
+    /// Mid-way through the WAL append: a torn record — the length prefix
+    /// promises more bytes than exist. Recovery must detect and discard
+    /// the tail.
+    MidAppend(u64),
+    /// After the append is durable but before the command executes: the
+    /// WAL is ahead of the in-memory state. Recovery replays the record.
+    BeforeExec(u64),
+    /// After the command executed but before the outcome was returned:
+    /// state and WAL agree; recovery replays the record onto the restored
+    /// base and reaches the same state (execution is deterministic).
+    AfterExec(u64),
+    /// Mid-way through writing the snapshot file triggered by the
+    /// `Snapshot` command at this sequence number: a torn snapshot.
+    /// Recovery must reject it by checksum and fall back to the previous
+    /// snapshot — or, as the snapshot file is overwritten in place, to a
+    /// full WAL replay from the beginning.
+    MidSnapshotWrite(u64),
+}
+
+impl KillPoint {
+    /// The WAL sequence number the kill is anchored to.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            KillPoint::BeforeAppend(s)
+            | KillPoint::MidAppend(s)
+            | KillPoint::BeforeExec(s)
+            | KillPoint::AfterExec(s)
+            | KillPoint::MidSnapshotWrite(s) => s,
+        }
+    }
+
+    /// All five kill kinds anchored at `seq` — the harness iterates this.
+    pub fn all_at(seq: u64) -> [KillPoint; 5] {
+        [
+            KillPoint::BeforeAppend(seq),
+            KillPoint::MidAppend(seq),
+            KillPoint::BeforeExec(seq),
+            KillPoint::AfterExec(seq),
+            KillPoint::MidSnapshotWrite(seq),
+        ]
+    }
+}
+
+/// The (at most one) injected fault of a service instance. Default: none.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Kill the service at this point, if set.
+    pub kill: Option<KillPoint>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan that kills at `point`.
+    pub fn kill_at(point: KillPoint) -> FaultPlan {
+        FaultPlan { kill: Some(point) }
+    }
+
+    /// True when `point` is this plan's kill point.
+    pub fn hits(&self, point: KillPoint) -> bool {
+        self.kill == Some(point)
+    }
+}
+
+/// Truncates the file at `path` to `len` bytes — a torn-write simulator
+/// for artifacts produced by earlier, healthy runs.
+pub fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)?;
+    file.sync_all()
+}
+
+/// Flips one bit of the byte at `offset` in the file at `path` — a
+/// bit-rot simulator. Fails when the file is shorter than `offset + 1`.
+pub fn flip_byte(path: &Path, offset: u64) -> std::io::Result<()> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 0x20;
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(&byte)?;
+    file.sync_all()
+}

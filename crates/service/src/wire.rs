@@ -1,0 +1,334 @@
+//! Hand-rolled binary codec for the service's durable artifacts.
+//!
+//! The workspace's `serde` is a vendored no-op stand-in (see
+//! `vendor/serde/Cargo.toml`), so the WAL and snapshot bytes are produced
+//! by this module instead: little-endian fixed-width integers, `f64`s as
+//! their IEEE-754 bit patterns (`to_bits`/`from_bits`, so snapshots round
+//! trip *bit-exactly* — a requirement of the crash-equivalence guarantee),
+//! length-prefixed byte strings, and a 64-bit FNV-1a checksum.
+//!
+//! Every decoder is total: truncated, oversized, or otherwise malformed
+//! input yields [`WireError`], never a panic and never an attempt to
+//! allocate more than the input could possibly describe.
+
+use std::fmt;
+
+/// Decoding failure: the input bytes do not describe a value of the
+/// requested shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A tag byte does not name a variant of the expected enum.
+    BadTag(u8),
+    /// A declared length exceeds the bytes actually present.
+    BadLength,
+    /// Trailing bytes remained after the value was decoded.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated mid-value"),
+            WireError::BadTag(t) => write!(f, "unknown enum tag {t}"),
+            WireError::BadLength => write!(f, "declared length exceeds the input"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after the value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// 64-bit FNV-1a over `bytes` — the integrity check of WAL records and
+/// snapshot files. Not cryptographic; it detects torn writes and flipped
+/// bytes, which is the failure model here.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only byte sink with typed `put_*` primitives.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` as a little-endian `u64` (the on-disk format is
+    /// pointer-width independent).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// IEEE-754 bit pattern of an `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// One boolean byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// `Option` as a presence byte plus the value.
+    pub fn put_opt<T>(&mut self, v: &Option<T>, mut put: impl FnMut(&mut Writer, &T)) {
+        match v {
+            None => self.put_bool(false),
+            Some(inner) => {
+                self.put_bool(true);
+                put(self, inner);
+            }
+        }
+    }
+
+    /// Slice as a length prefix plus the elements.
+    pub fn put_seq<T>(&mut self, v: &[T], mut put: impl FnMut(&mut Writer, &T)) {
+        self.put_usize(v.len());
+        for item in v {
+            put(self, item);
+        }
+    }
+
+    /// `Option<usize>` — frequent enough in the solver snapshots to
+    /// deserve a named helper.
+    pub fn put_opt_usize(&mut self, v: &Option<usize>) {
+        self.put_opt(v, |w, &x| w.put_usize(x));
+    }
+}
+
+/// Bounds-checked cursor over encoded bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed — the outermost decoder calls
+    /// this so corrupt artifacts cannot hide extra payload.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// One raw byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// `usize` from the on-disk `u64`; fails when the value does not fit
+    /// the host's pointer width.
+    pub fn get_usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.get_u64()?).map_err(|_| WireError::BadLength)
+    }
+
+    /// `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// One boolean byte (strictly 0 or 1 — anything else is corruption).
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let len = self.get_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadLength)
+    }
+
+    /// `Option` from a presence byte plus the value.
+    pub fn get_opt<T>(
+        &mut self,
+        mut get: impl FnMut(&mut Reader<'a>) -> Result<T, WireError>,
+    ) -> Result<Option<T>, WireError> {
+        if self.get_bool()? {
+            Ok(Some(get(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// A declared element count, sanity-capped so a corrupt length field
+    /// cannot drive an over-allocation: `count · min_elem_bytes` must not
+    /// exceed the bytes actually remaining.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let len = self.get_usize()?;
+        if len
+            .checked_mul(min_elem_bytes.max(1))
+            .ok_or(WireError::BadLength)?
+            > self.remaining()
+        {
+            return Err(WireError::BadLength);
+        }
+        Ok(len)
+    }
+
+    /// `Vec` from a length prefix plus the elements; `min_elem_bytes` is
+    /// the smallest possible encoding of one element (for the allocation
+    /// guard).
+    pub fn get_seq<T>(
+        &mut self,
+        min_elem_bytes: usize,
+        mut get: impl FnMut(&mut Reader<'a>) -> Result<T, WireError>,
+    ) -> Result<Vec<T>, WireError> {
+        let len = self.get_len(min_elem_bytes)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(get(self)?);
+        }
+        Ok(out)
+    }
+
+    /// `Option<usize>` — the mirror of [`Writer::put_opt_usize`].
+    pub fn get_opt_usize(&mut self) -> Result<Option<usize>, WireError> {
+        self.get_opt(|r| r.get_usize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("schnappszahl");
+        w.put_opt_usize(&Some(42));
+        w.put_opt_usize(&None);
+        w.put_seq(&[1.5f64, -2.5], |w, &x| w.put_f64(x));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "schnappszahl");
+        assert_eq!(r.get_opt_usize().unwrap(), Some(42));
+        assert_eq!(r.get_opt_usize().unwrap(), None);
+        assert_eq!(r.get_seq(8, |r| r.get_f64()).unwrap(), vec![1.5, -2.5]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_bad_lengths_error_out() {
+        let mut w = Writer::new();
+        w.put_u64(123);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        assert_eq!(r.get_u64(), Err(WireError::Truncated));
+
+        // A length prefix claiming far more elements than bytes remain.
+        let mut w = Writer::new();
+        w.put_usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_seq(8, |r| r.get_f64()).is_err());
+
+        // Non-boolean presence byte.
+        let mut r = Reader::new(&[9u8]);
+        assert_eq!(r.get_bool(), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_flips() {
+        let data = b"write-ahead command log record".to_vec();
+        let base = checksum(&data);
+        for i in 0..data.len() {
+            let mut flipped = data.clone();
+            flipped[i] ^= 0x40;
+            assert_ne!(checksum(&flipped), base, "flip at byte {i} undetected");
+        }
+    }
+}
